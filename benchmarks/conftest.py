@@ -1,0 +1,43 @@
+"""Shared helpers for the experiment-regeneration benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper.  The
+modules print the regenerated rows/series (run pytest with ``-s`` to see
+them) and assert the paper's qualitative shape.  The ``benchmark``
+fixture wraps each experiment once (``pedantic`` with one round) so the
+wall-clock cost of regenerating every artifact is itself recorded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collect printed artifacts so they survive output capture.
+
+    Everything emitted is also written to ``benchmarks/results/latest.txt``
+    at session end, so a plain ``pytest benchmarks/ --benchmark-only`` run
+    leaves the regenerated tables/figures on disk even without ``-s``.
+    """
+    import pathlib
+
+    lines: list[str] = []
+    yield lines
+    if lines:
+        print("\n".join(lines))
+        results_dir = pathlib.Path(__file__).parent / "results"
+        results_dir.mkdir(exist_ok=True)
+        (results_dir / "latest.txt").write_text("\n".join(lines) + "\n")
+
+
+def emit(report, text: str) -> None:
+    """Print now (visible with -s) and store for the session summary."""
+    print(text)
+    report.append(text)

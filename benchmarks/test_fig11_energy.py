@@ -1,0 +1,89 @@
+"""Figure 11* — translation-component dynamic energy (headline −60 %).
+
+(*The provided text truncates before the energy figure; the abstract
+gives the headline: "the power consumption of the translation
+components is reduced by 60%".)
+
+Counts every translation-structure event over a steady-state window —
+I-side and D-side TLB/filter probes, L2 TLB probes, page-walk PTE
+fetches, and the hybrid's delayed structures — times CACTI-class
+per-access energies, plus the extended-tag overhead the hybrid pays on
+every cache access (paper Section III-A: ≤0.32 %).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy import EnergyModel
+from repro.sim import run_workload
+from repro.workloads import spec
+
+from conftest import emit, run_once
+
+ACCESSES = 25_000
+WARMUP = 50_000
+WORKLOADS = ("omnetpp", "astar", "soplex", "stream", "xalancbmk", "mcf",
+             "gemsfdtd", "cactus")
+
+
+def measure(name: str):
+    energy = EnergyModel()
+    base = run_workload(name, "baseline", accesses=ACCESSES, warmup=WARMUP)
+    hybrid = run_workload(name, "hybrid_tlb", accesses=ACCESSES,
+                          warmup=WARMUP)
+    fetches = spec(name).instructions_for(ACCESSES + WARMUP)
+    b = energy.baseline_translation_energy(base.stats,
+                                           instruction_fetches=fetches)
+    h = energy.hybrid_translation_energy(hybrid.stats,
+                                         instruction_fetches=fetches)
+    tag_extra = energy.tag_extension_energy(hybrid.stats)
+    return {
+        "baseline_pj": energy.total(b),
+        "hybrid_pj": energy.total(h) + tag_extra,
+        "reduction": energy.reduction(b, h, proposed_extra=tag_extra),
+        "tag_overhead": tag_extra / energy.total(h) if energy.total(h) else 0.0,
+        "baseline_breakdown": b,
+        "hybrid_breakdown": h,
+    }
+
+
+def measure_all():
+    return {name: measure(name) for name in WORKLOADS}
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_energy(benchmark, report):
+    rows = run_once(benchmark, measure_all)
+
+    emit(report, "\nFigure 11* — translation energy (paper headline: -60 %)")
+    emit(report, f"{'workload':<12}{'baseline uJ':>13}{'hybrid uJ':>12}"
+                 f"{'reduction':>12}")
+    for name, row in rows.items():
+        emit(report, f"{name:<12}{row['baseline_pj'] / 1e6:>13.2f}"
+                     f"{row['hybrid_pj'] / 1e6:>12.2f}"
+                     f"{100 * row['reduction']:>11.1f}%")
+    average = sum(r["reduction"] for r in rows.values()) / len(rows)
+    emit(report, f"{'average':<12}{'':>13}{'':>12}{100 * average:>11.1f}%")
+
+    # Substantial average reduction.  Our synthetic traces are far more
+    # LLC-hostile than the paper's full applications, so the delayed
+    # structures fire more often; the reproduced band is ~30-70 % rather
+    # than a point at 60 %, with the most LLC-hostile subject (mcf at a
+    # 224 MB footprint) at the bottom of it.
+    assert average > 0.30
+    for name, row in rows.items():
+        assert row["reduction"] > 0.08, (name, row["reduction"])
+        # Hybrid must never use more translation energy than baseline.
+        assert row["hybrid_pj"] < row["baseline_pj"], name
+
+    # The dominant baseline component is per-probe TLB energy — exactly
+    # what the filter bypass eliminates.
+    sample = rows["omnetpp"]["baseline_breakdown"]
+    probe_energy = sample["l1_tlb"] + sample["itlb"]
+    assert probe_energy > 0.5 * sum(sample.values())
+
+    # Extended-tag overhead stays a small fraction of translation energy
+    # (and a ~0.3 % fraction of cache energy by construction).
+    for name, row in rows.items():
+        assert row["tag_overhead"] < 0.25, name

@@ -1,0 +1,77 @@
+"""Table I — ratio of r/w shared memory area and accesses to shared regions.
+
+Paper values (Section II-C): postgres shares ~2/3 of its memory but only
+~16 % of its accesses touch the shared region; ferret / SpecJBB /
+firefox / apache share small amounts; SPEC CPU and the rest of PARSEC
+share nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import SystemConfig
+from repro.osmodel import Kernel
+from repro.sim import lay_out
+from repro.workloads import SYNONYM_WORKLOADS
+
+from conftest import emit, run_once
+
+ACCESSES = 30_000
+
+#: Paper's qualitative expectations: (min_area, max_area, max_access).
+PAPER_BANDS = {
+    "ferret": (0.005, 0.10, 0.05),
+    "postgres": (0.50, 0.80, 0.25),
+    "specjbb": (0.001, 0.05, 0.03),
+    "firefox": (0.005, 0.10, 0.05),
+    "apache": (0.01, 0.12, 0.06),
+}
+
+
+def measure(name: str):
+    kernel = Kernel(SystemConfig())
+    workload = lay_out(name, kernel)
+    area = workload.shared_area_fraction()
+    shared_hits = 0
+    for record in workload.trace(ACCESSES):
+        vma = workload.shared_vmas.get(record.asid)
+        if vma is not None and vma.contains(record.va):
+            shared_hits += 1
+    return area, shared_hits / ACCESSES
+
+
+def measure_all():
+    rows = {}
+    for name in SYNONYM_WORKLOADS:
+        rows[name] = measure(name)
+    # Controls: no sharing at all.
+    for name in ("speccpu_private", "canneal"):
+        rows[name] = measure(name)
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_sharing(benchmark, report):
+    rows = run_once(benchmark, measure_all)
+
+    emit(report, "\nTable I — r/w shared area and shared-access ratios")
+    emit(report, f"{'workload':<18}{'shared area':>14}{'shared access':>16}")
+    for name, (area, access) in rows.items():
+        emit(report, f"{name:<18}{100 * area:>13.2f}%{100 * access:>15.2f}%")
+
+    for name, (lo, hi, max_access) in PAPER_BANDS.items():
+        area, access = rows[name]
+        assert lo <= area <= hi, f"{name}: shared area {area:.3f} out of band"
+        assert access <= max_access, f"{name}: shared access {access:.3f}"
+        assert access > 0, f"{name}: expected some shared accesses"
+
+    # postgres: large shared area but modest access fraction (the paper's
+    # key observation motivating the filter design).
+    pg_area, pg_access = rows["postgres"]
+    assert pg_area > 3 * pg_access
+
+    # SPEC CPU and non-ferret PARSEC rows are exactly zero.
+    for control in ("speccpu_private", "canneal"):
+        area, access = rows[control]
+        assert area == 0.0 and access == 0.0

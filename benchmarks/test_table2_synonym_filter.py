@@ -1,0 +1,107 @@
+"""Table II — synonym-filter false positives, TLB access & miss reduction.
+
+Paper values (Section III-C, 8 MB shared cache, 64-entry synonym TLB,
+1024-entry delayed TLB — same total TLB area as the two-level baseline):
+
+    workload   false-positive   TLB-access    total-TLB-miss
+                    rate         reduction      reduction
+    ferret        <0.5 %          99.1 %          20.4 %
+    postgres      <0.5 %          83.7 %          -6.1 %
+    SpecJBB       <0.5 %          99.9 %          42.6 %
+    firefox       <0.5 %          99.4 %          63.2 %
+    apache        <0.5 %          99.5 %          69.7 %
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.common.params import SystemConfig
+from repro.core import ConventionalMmu, HybridMmu
+from repro.osmodel import Kernel
+from repro.sim import Simulator, lay_out
+from repro.workloads import SYNONYM_WORKLOADS
+
+from conftest import emit, run_once
+
+ACCESSES = 40_000
+WARMUP = 80_000
+
+
+def config_for(name: str):
+    """8 MB shared LLC (the paper's Section III-C setup) and a delayed
+    TLB sized for equal overall TLB area with the per-core two-level
+    baseline ("the same overall TLB area as the conventional system")."""
+    from repro.workloads import spec
+    cores = spec(name).sharing.processes if spec(name).sharing else 1
+    config = dataclasses.replace(SystemConfig().with_llc_size(8 * 1024 * 1024),
+                                 cores=cores)
+    entries = 1024 * (1 << (cores - 1).bit_length())
+    return config.with_delayed_tlb_entries(entries)
+
+
+def measure(name: str):
+    config = config_for(name)
+
+    kernel = Kernel(config)
+    workload = lay_out(name, kernel)
+    hybrid = HybridMmu(kernel, config, delayed="tlb")
+    Simulator(hybrid).run(workload, accesses=ACCESSES, warmup=WARMUP,
+                          reset_stats_after_warmup=True)
+
+    kernel_b = Kernel(config)
+    workload_b = lay_out(name, kernel_b)
+    baseline = ConventionalMmu(kernel_b, config)
+    Simulator(baseline).run(workload_b, accesses=ACCESSES, warmup=WARMUP,
+                            reset_stats_after_warmup=True)
+
+    baseline_misses = sum(
+        baseline.tlbs[c].stats["misses"] for c in range(config.cores))
+    hybrid_misses = hybrid.total_tlb_misses()
+    miss_reduction = (1.0 - hybrid_misses / baseline_misses
+                      if baseline_misses else 0.0)
+    return {
+        "fp_rate": hybrid.false_positive_rate(),
+        "access_reduction": hybrid.tlb_access_reduction(),
+        "miss_reduction": miss_reduction,
+    }
+
+
+def measure_all():
+    return {name: measure(name) for name in SYNONYM_WORKLOADS}
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_synonym_filter(benchmark, report):
+    rows = run_once(benchmark, measure_all)
+
+    emit(report, "\nTable II — synonym filter effectiveness "
+                 "(paper: fp<0.5%; access reduction 83.7-99.9%)")
+    emit(report, f"{'workload':<12}{'false-pos':>12}{'acc. red.':>12}"
+                 f"{'miss red.':>12}")
+    for name, row in rows.items():
+        emit(report, f"{name:<12}{100 * row['fp_rate']:>11.3f}%"
+                     f"{100 * row['access_reduction']:>11.1f}%"
+                     f"{100 * row['miss_reduction']:>11.1f}%")
+
+    for name, row in rows.items():
+        # The filter guarantee: false positives well under the paper's 0.5 %.
+        assert row["fp_rate"] < 0.005, name
+
+    # Access-reduction shape: postgres is the outlier (~84 %), the other
+    # four bypass essentially everything (>97 %).
+    assert 0.75 < rows["postgres"]["access_reduction"] < 0.90
+    for name in ("ferret", "specjbb", "firefox", "apache"):
+        assert rows[name]["access_reduction"] > 0.97, name
+
+    # Miss-reduction shape: clearly positive for the low-sharing
+    # workloads (the LLC absorbs translation requests; paper: +20-70 %),
+    # *negative* for postgres, whose hot shared pages fit the baseline's
+    # 1088-entry reach but thrash the 64-entry synonym TLB (paper: -6 %).
+    for name in ("specjbb", "firefox", "apache", "ferret"):
+        assert rows[name]["miss_reduction"] > 0.15, name
+    assert rows["postgres"]["miss_reduction"] < 0.0
+    assert (rows["postgres"]["miss_reduction"]
+            == min(r["miss_reduction"] for r in rows.values()))

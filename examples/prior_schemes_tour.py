@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Tour of translation architectures, prior and proposed.
+
+Runs two pivot workloads through six MMU designs:
+
+* **GUPS** — one giant allocation.  Any range-based scheme (direct
+  segment, RMM, many-segment) translates it perfectly; page-granularity
+  schemes (conventional TLBs, Enigma-style delayed TLB) drown in misses.
+* **memcached** — hundreds of scattered allocations.  Direct segment
+  covers one of them, RMM's 32 ranges thrash, and only the 2048-entry
+  delayed segment table keeps the range advantage.
+
+This is the paper's scalability argument in one screen.
+"""
+
+from repro.sim import run_workload
+from repro.sim.report import horizontal_bars
+
+ACCESSES = 12_000
+WARMUP = 15_000
+CONFIGS = ("baseline", "direct_segment", "rmm", "enigma", "hybrid_tlb",
+           "hybrid_segments")
+
+
+def tour(workload_name: str) -> None:
+    print(f"\n=== {workload_name} ===")
+    results = {}
+    for config in CONFIGS:
+        results[config] = run_workload(workload_name, config,
+                                       accesses=ACCESSES, warmup=WARMUP)
+    base = results["baseline"].ipc
+    normalized = {name: r.ipc / base for name, r in results.items()}
+    print(horizontal_bars(normalized, reference=1.0))
+
+
+def main() -> None:
+    print("Speedup over the conventional physically addressed baseline")
+    tour("gups")
+    tour("memcached")
+    print("\nTakeaway: ranges beat pages when they fit; only many-segment")
+    print("delayed translation keeps ranges once allocations fragment.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``workloads``  — list the calibrated workload catalog;
+* ``configs``    — list MMU configurations (proposed + baselines + prior);
+* ``run``        — simulate one (workload, configuration) point;
+* ``compare``    — one workload across several configurations;
+* ``sweep``      — delayed-TLB size sweep (Figure 4 style);
+* ``analyze``    — address-stream profile of a workload trace;
+* ``experiments``— map paper artifacts to their benchmark modules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+from repro.common.params import SystemConfig
+from repro.common.stats import mpki
+from repro.sim import (
+    MMU_CONFIGS,
+    PRIOR_CONFIGS,
+    compare_configs,
+    run_workload,
+    sweep_delayed_tlb,
+)
+from repro.sim.report import horizontal_bars, markdown_table, series_table
+from repro.workloads import all_specs, analyze as analyze_trace, names, spec
+
+EXPERIMENTS = (
+    ("Table I", "benchmarks/test_table1_sharing.py",
+     "r/w shared area and access ratios"),
+    ("Table II", "benchmarks/test_table2_synonym_filter.py",
+     "synonym-filter false positives, TLB access/miss reduction"),
+    ("Figure 4", "benchmarks/test_fig4_delayed_tlb_mpki.py",
+     "delayed-TLB MPKI vs. size"),
+    ("Table III", "benchmarks/test_table3_segments.py",
+     "segments, RMM MPKI, utilization"),
+    ("Figure 7", "benchmarks/test_fig7_index_cache.py",
+     "index-cache size sensitivity"),
+    ("Figure 9", "benchmarks/test_fig9_native_performance.py",
+     "native performance"),
+    ("Figure 10*", "benchmarks/test_fig10_virtualization.py",
+     "virtualized performance"),
+    ("Figure 11*", "benchmarks/test_fig11_energy.py",
+     "translation energy"),
+    ("Ablations", "benchmarks/test_ablations.py",
+     "filter granularity, SC size, allocation policy"),
+    ("Prior schemes", "benchmarks/test_prior_schemes.py",
+     "direct segment / RMM / Enigma comparison"),
+)
+
+
+def _system_config(args) -> SystemConfig:
+    config = SystemConfig()
+    if getattr(args, "llc_mb", None):
+        config = config.with_llc_size(args.llc_mb * 1024 * 1024)
+    if getattr(args, "delayed_entries", None):
+        config = config.with_delayed_tlb_entries(args.delayed_entries)
+    return config
+
+
+def cmd_workloads(_args) -> None:
+    rows = []
+    for s in all_specs():
+        sharing = (f"{s.sharing.processes}p/"
+                   f"{100 * s.sharing.area_fraction:.0f}%area"
+                   if s.sharing else "-")
+        patterns = "+".join(m.kind for m in s.patterns)
+        rows.append([s.name, f"{s.footprint_bytes // (1 << 20)}MB", patterns,
+                     f"{s.mem_ratio:.2f}", f"{s.mlp:.1f}", sharing])
+    print(markdown_table(
+        ["workload", "footprint", "patterns", "mem ratio", "MLP", "sharing"],
+        rows))
+
+
+def cmd_configs(_args) -> None:
+    descriptions = {
+        "baseline": "conventional two-level TLBs, physical caches",
+        "ideal": "no-TLB-miss upper bound",
+        "hybrid_tlb": "hybrid virtual caching + delayed TLB",
+        "hybrid_segments": "hybrid + many-segment translation (with SC)",
+        "hybrid_segments_nosc": "many-segment without the segment cache",
+        "direct_segment": "one range + paging (Basu et al.)",
+        "rmm": "32 core-side ranges (Karakostas et al.)",
+        "enigma": "intermediate addresses + delayed page TLB (Zhang et al.)",
+        "baseline_thp": "conventional MMU + transparent 2 MB huge pages",
+    }
+    rows = [[name, descriptions.get(name, "")]
+            for name in MMU_CONFIGS + PRIOR_CONFIGS]
+    print(markdown_table(["configuration", "description"], rows))
+
+
+def cmd_run(args) -> None:
+    result = run_workload(args.workload, args.config,
+                          accesses=args.accesses, warmup=args.warmup,
+                          config=_system_config(args), seed=args.seed)
+    if args.json:
+        print(json.dumps({
+            "workload": result.workload,
+            "config": args.config,
+            "instructions": result.instructions,
+            "accesses": result.accesses,
+            "cycles": result.cycles,
+            "ipc": result.ipc,
+            "llc_miss_rate": result.llc_miss_rate(),
+            "cycle_breakdown": result.cycle_breakdown,
+            "stats": result.stats,
+        }, indent=2))
+        return
+    print(f"workload={result.workload} config={result.mmu}")
+    print(f"instructions={result.instructions} accesses={result.accesses}")
+    print(f"cycles={result.cycles:.0f} ipc={result.ipc:.4f} "
+          f"llc_miss_rate={result.llc_miss_rate():.3f}")
+    hybrid = result.group("hybrid")
+    if hybrid:
+        total = hybrid.get("accesses", 0)
+        bypass = hybrid.get("tlb_bypasses", 0)
+        print(f"tlb_bypass_rate={bypass / total:.3f}" if total else "")
+    delayed = result.group("delayed_tlb")
+    if delayed:
+        print(f"delayed_tlb_mpki={mpki(delayed.get('misses', 0), result.instructions):.2f}")
+
+
+def cmd_compare(args) -> None:
+    configs = args.configs.split(",") if args.configs else list(MMU_CONFIGS)
+    row = compare_configs(args.workload, mmu_names=configs,
+                          accesses=args.accesses, warmup=args.warmup,
+                          config=_system_config(args), seed=args.seed)
+    normalized = row.normalized(configs[0])
+    if args.json:
+        print(json.dumps({"workload": args.workload,
+                          "normalized_to": configs[0],
+                          "speedups": normalized}, indent=2))
+        return
+    print(f"{args.workload}: performance normalized to {configs[0]}")
+    print(horizontal_bars(normalized, reference=1.0))
+
+
+def cmd_sweep(args) -> None:
+    sizes = [int(s) for s in args.sizes.split(",")]
+    results = sweep_delayed_tlb(args.workload, sizes,
+                                accesses=args.accesses, warmup=args.warmup,
+                                seed=args.seed)
+    series = {args.workload: [r.tlb_mpki() for r in results]}
+    print("delayed-TLB MPKI by entry count")
+    print(series_table(series, [str(s) for s in sizes]))
+
+
+def cmd_analyze(args) -> None:
+    from repro.osmodel import Kernel
+    from repro.sim import lay_out
+
+    kernel = Kernel(_system_config(args))
+    workload = lay_out(args.workload, kernel, seed=args.seed)
+    profile = analyze_trace(workload.trace(args.accesses))
+    print(f"workload={args.workload} accesses={profile.accesses}")
+    print(f"distinct pages={profile.distinct_pages} "
+          f"blocks={profile.distinct_blocks} "
+          f"write_fraction={profile.write_fraction:.2f}")
+    print("page-popularity coverage (≈ perfect-TLB hit-rate bound):")
+    for entries, share in profile.page_coverage:
+        print(f"  top {entries:>6} pages -> {100 * share:5.1f}% of accesses")
+
+
+def cmd_experiments(_args) -> None:
+    print(markdown_table(["artifact", "benchmark", "what it shows"],
+                         EXPERIMENTS))
+    print("\nRun them with: pytest benchmarks/ --benchmark-only -s")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid virtual caching (ISCA 2016) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the workload catalog")
+    sub.add_parser("configs", help="list MMU configurations")
+    sub.add_parser("experiments", help="map paper artifacts to benchmarks")
+
+    def add_common(p):
+        p.add_argument("workload", choices=names())
+        p.add_argument("--accesses", type=int, default=30_000)
+        p.add_argument("--warmup", type=int, default=10_000)
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--llc-mb", type=int, dest="llc_mb",
+                       help="override LLC size (MiB)")
+        p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of text")
+
+    run_parser = sub.add_parser("run", help="simulate one configuration")
+    add_common(run_parser)
+    run_parser.add_argument("config",
+                            choices=MMU_CONFIGS + PRIOR_CONFIGS)
+    run_parser.add_argument("--delayed-entries", type=int,
+                            dest="delayed_entries")
+
+    compare_parser = sub.add_parser("compare",
+                                    help="compare configurations")
+    add_common(compare_parser)
+    compare_parser.add_argument("--configs",
+                                help="comma-separated configuration names")
+
+    sweep_parser = sub.add_parser("sweep", help="delayed-TLB size sweep")
+    add_common(sweep_parser)
+    sweep_parser.add_argument("--sizes", default="1024,4096,16384,65536")
+
+    analyze_parser = sub.add_parser("analyze", help="profile a trace")
+    add_common(analyze_parser)
+    return parser
+
+
+HANDLERS = {
+    "workloads": cmd_workloads,
+    "configs": cmd_configs,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "sweep": cmd_sweep,
+    "analyze": cmd_analyze,
+    "experiments": cmd_experiments,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    HANDLERS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,153 @@
+"""Configuration dataclasses for the simulated machine.
+
+Defaults reproduce Table IV of the paper plus the structure parameters
+given in the running text (Sections III-B, IV-C, VI-A):
+
+* out-of-order x86 core at 3.4 GHz — folded into the analytic cycle model,
+* 32 KB 4-way L1 (2/4 cycles), 256 KB 8-way L2 (6 cycles),
+  2 MB 16-way shared LLC (27 cycles), 64 B blocks,
+* baseline TLBs: 64-entry 4-way L1 (1 cycle), 1024-entry 8-way L2
+  (7 cycles),
+* synonym TLB: 64-entry 4-way single level,
+* delayed TLB: 1024 entries 8-way by default (swept 1K–64K in Figure 4),
+* synonym filter: two 1K-bit Bloom filters (16 MB and 32 KB granularity),
+* many-segment translation: 2048-entry segment table (7 cycles), 32 KB
+  8-way index cache (3 cycles), 128-entry 2 MB segment cache,
+  20 cycles end-to-end on the segment-cache-miss path,
+* DDR3-1600-like DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and access latency of one cache level."""
+
+    size_bytes: int
+    ways: int
+    latency: int
+    block_size: int = 64
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.ways * self.block_size)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.ways * self.block_size):
+            raise ValueError(
+                f"cache size {self.size_bytes} not divisible into "
+                f"{self.ways}-way sets of {self.block_size} B blocks"
+            )
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """Geometry and access latency of one TLB level."""
+
+    entries: int
+    ways: int
+    latency: int
+
+    @property
+    def sets(self) -> int:
+        return self.entries // self.ways
+
+    def __post_init__(self) -> None:
+        if self.entries % self.ways:
+            raise ValueError(f"{self.entries} entries not divisible by {self.ways} ways")
+
+
+@dataclass(frozen=True)
+class SynonymFilterConfig:
+    """The paper's dual-granularity Bloom synonym filter (Section III-B)."""
+
+    bits: int = 1024
+    fine_grain_shift: int = 15    # 32 KB regions
+    coarse_grain_shift: int = 24  # 16 MB regions
+    # The filter probe overlaps with the L1 access for non-synonyms, so it
+    # exposes no latency on the common path (Section III-A).
+    latency: int = 0
+
+
+@dataclass(frozen=True)
+class SegmentTranslationConfig:
+    """Many-segment delayed translation (Section IV-C)."""
+
+    segment_table_entries: int = 2048
+    segment_table_latency: int = 7
+    index_cache_size: int = 32 * 1024
+    index_cache_ways: int = 8
+    index_cache_latency: int = 3
+    index_tree_fanout: int = 7       # 6 keys + 7 children per 64 B node
+    segment_cache_entries: int = 128
+    segment_cache_grain_shift: int = 21  # 2 MB regions
+    segment_cache_latency: int = 2
+    # Paper: four index-cache reads + segment table ~= 19, modeled as 20.
+    full_walk_latency: int = 20
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """DDR3-1600-like timing, expressed in 3.4 GHz core cycles."""
+
+    channels: int = 1
+    banks: int = 8
+    row_bytes: int = 8192
+    row_hit_cycles: int = 75      # ~22 ns
+    row_miss_cycles: int = 175    # ~52 ns (precharge + activate + CAS)
+    queue_penalty_cycles: int = 10
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Analytic core model: issue-limited base CPI plus memory stalls."""
+
+    frequency_ghz: float = 3.4
+    base_cpi: float = 0.4          # 5-issue/4-commit OoO core, compute-bound floor
+    # Fraction of a cache-miss penalty exposed after overlap; per-workload
+    # memory-level parallelism divides the raw penalty.
+    default_mlp: float = 1.0
+
+
+@dataclass(frozen=True)
+class WalkerConfig:
+    """Page-walk cost model for native and nested (2-D) walks."""
+
+    levels: int = 4
+    # Latency per page-table level access when it misses the page-walk
+    # cache and must reach memory through the hierarchy is computed by the
+    # simulator; this is the fixed per-level overhead (walker state machine).
+    per_level_overhead: int = 2
+    walk_cache_entries: int = 32   # caches upper-level PTEs (skips 2 levels)
+    nested_levels: int = 4         # host page-table levels for 2-D walks
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full simulated-system configuration (Table IV defaults)."""
+
+    cores: int = 1
+    l1: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 4, 4))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(256 * 1024, 8, 6))
+    llc: CacheConfig = field(default_factory=lambda: CacheConfig(2 * 1024 * 1024, 16, 27))
+    l1_tlb: TlbConfig = field(default_factory=lambda: TlbConfig(64, 4, 1))
+    l2_tlb: TlbConfig = field(default_factory=lambda: TlbConfig(1024, 8, 7))
+    synonym_tlb: TlbConfig = field(default_factory=lambda: TlbConfig(64, 4, 1))
+    delayed_tlb: TlbConfig = field(default_factory=lambda: TlbConfig(1024, 8, 7))
+    synonym_filter: SynonymFilterConfig = field(default_factory=SynonymFilterConfig)
+    segments: SegmentTranslationConfig = field(default_factory=SegmentTranslationConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+    core: CoreConfig = field(default_factory=CoreConfig)
+    walker: WalkerConfig = field(default_factory=WalkerConfig)
+    physical_memory_bytes: int = 4 * 1024 ** 3
+
+    def with_llc_size(self, size_bytes: int) -> "SystemConfig":
+        """Return a copy with a different shared-LLC capacity."""
+        return replace(self, llc=replace(self.llc, size_bytes=size_bytes))
+
+    def with_delayed_tlb_entries(self, entries: int) -> "SystemConfig":
+        """Return a copy with a different delayed-TLB capacity (Figure 4 sweep)."""
+        return replace(self, delayed_tlb=replace(self.delayed_tlb, entries=entries))

@@ -1,0 +1,54 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component (workload generators, fragmentation injection,
+worst-case index-cache traffic) takes an explicit seed so that experiments
+are reproducible run-to-run.  We use ``random.Random`` instances rather
+than the module-level functions so independent components never perturb
+each other's streams.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def make_rng(seed: int, stream: str = "") -> random.Random:
+    """Return an independent ``random.Random`` derived from (seed, stream).
+
+    The ``stream`` label decorrelates multiple generators sharing one
+    user-facing seed (e.g. a workload's layout RNG vs. its access RNG).
+    """
+    if stream:
+        seed = hash((seed, stream)) & 0xFFFFFFFFFFFF
+    return random.Random(seed)
+
+
+def zipf_sampler(rng: random.Random, n: int, theta: float = 0.8):
+    """Return a callable sampling Zipf-distributed ranks in ``[0, n)``.
+
+    Uses the standard inverse-CDF construction over precomputed cumulative
+    weights; ``theta`` is the skew (0 = uniform, ~1 = strongly skewed).
+    Hot-ranked items model the hot-page behaviour of server workloads.
+    """
+    if n <= 0:
+        raise ValueError("zipf_sampler needs n >= 1")
+    weights = [1.0 / ((rank + 1) ** theta) for rank in range(n)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def sample() -> int:
+        u = rng.random()
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    return sample

@@ -1,0 +1,26 @@
+"""MMU front-ends: the paper's contribution and its comparison points."""
+
+from repro.core.conventional import ConventionalMmu
+from repro.core.hybrid import (
+    DelayedTlbEngine,
+    HybridMmu,
+    ManySegmentEngine,
+)
+from repro.core.ideal import IdealMmu
+from repro.core.prior import DirectSegmentMmu, EnigmaMmu, RmmMmu
+from repro.core.thp import ThpBaselineMmu
+from repro.core.mmu_base import AccessOutcome, MmuBase
+
+__all__ = [
+    "ConventionalMmu",
+    "DelayedTlbEngine",
+    "HybridMmu",
+    "ManySegmentEngine",
+    "IdealMmu",
+    "DirectSegmentMmu",
+    "EnigmaMmu",
+    "RmmMmu",
+    "ThpBaselineMmu",
+    "AccessOutcome",
+    "MmuBase",
+]

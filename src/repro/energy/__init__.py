@@ -1,0 +1,6 @@
+"""Translation-energy modeling (CACTI-class per-access constants)."""
+
+from repro.energy.accounting import EnergyModel
+from repro.energy.params import EnergyParams
+
+__all__ = ["EnergyModel", "EnergyParams"]

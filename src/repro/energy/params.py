@@ -1,0 +1,64 @@
+"""Per-access dynamic energy constants (CACTI-class estimates, in pJ).
+
+The paper extracts structure energies from CACTI 6.5 at 32 nm; the
+provided text keeps only derived statements (e.g. the extended cache tags
+add ≤0.32 % static/dynamic energy; the translation components of the
+proposed design consume ~60 % less power overall).  The absolute values
+below are standard CACTI-class numbers for the stated geometries; only
+their *ratios* matter for the reproduced claim, and those ratios follow
+directly from structure sizes:
+
+* a 64-entry 4-way TLB read costs ~1 pJ; a 1024-entry 8-way TLB ~6 pJ;
+* probing two 1K-bit Bloom filters (4 bit reads through 2×128 B SRAM)
+  costs a small fraction of a TLB CAM/RAM read;
+* the 32 KB index cache and the 2048-entry segment table sit between the
+  two TLB sizes;
+* data-cache reads dwarf all of these (L1 ~20 pJ), which is why the tag
+  extension's ~0.3 % relative cost is negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Dynamic energy per access, picojoules."""
+
+    l1_tlb_pj: float = 1.1
+    l2_tlb_pj: float = 6.2
+    synonym_tlb_pj: float = 1.1
+    synonym_filter_pj: float = 0.42   # two filters × two 1-bit probes
+    delayed_tlb_pj: float = 6.2
+    index_cache_pj: float = 3.4
+    segment_table_pj: float = 7.8
+    segment_cache_pj: float = 1.6
+    range_tlb_pj: float = 4.5         # 32-entry fully associative CAM (RMM)
+    pte_read_pj: float = 12.0         # page-walker PTE fetch overhead
+    l1_cache_pj: float = 20.0
+    l2_cache_pj: float = 46.0
+    llc_cache_pj: float = 120.0
+    # Extended tag bits (ASID + synonym + permission): relative overhead on
+    # every cache access (Section III-A: 0.03–0.32 %).
+    tag_extension_overhead: float = 0.0032
+
+    # ------------------------------------------------------------------ #
+    # Static (leakage) power, picojoules per core cycle at 3.4 GHz.
+    # CACTI-class magnitudes: leakage scales with SRAM capacity; the
+    # segment table uses the low-standby-power configuration the paper
+    # specifies (Section IV-D footnote), hence its small number despite
+    # 48 KB of state.
+    # ------------------------------------------------------------------ #
+    l1_tlb_static_pj: float = 0.020
+    l2_tlb_static_pj: float = 0.110
+    synonym_tlb_static_pj: float = 0.020
+    synonym_filter_static_pj: float = 0.004   # 2 × 1K-bit vectors
+    delayed_tlb_static_pj: float = 0.110
+    index_cache_static_pj: float = 0.060      # 32 KB high-perf SRAM
+    segment_table_static_pj: float = 0.025    # 48 KB low-standby-power
+    segment_cache_static_pj: float = 0.012
+    # Static overhead of the widened cache tags, relative to total cache
+    # leakage (paper: 0.03-0.32 %).
+    tag_extension_static_overhead: float = 0.0032
+    cache_static_pj: float = 4.0               # 2.3 MB of cache SRAM

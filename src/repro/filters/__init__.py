@@ -1,0 +1,15 @@
+"""Bloom-filter-based synonym detection (paper Section III)."""
+
+from repro.filters.bloom import BloomFilter
+from repro.filters.hashing import make_hash_pair, partition_hash, xor_fold
+from repro.filters.synonym_filter import SynonymFilter
+from repro.filters.virt_filter import VirtualizedSynonymFilter
+
+__all__ = [
+    "BloomFilter",
+    "make_hash_pair",
+    "partition_hash",
+    "xor_fold",
+    "SynonymFilter",
+    "VirtualizedSynonymFilter",
+]

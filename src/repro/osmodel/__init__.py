@@ -1,0 +1,52 @@
+"""Operating-system substrate: frames, page tables, processes, segments."""
+
+from repro.osmodel.address_space import (
+    POLICY_DEMAND,
+    POLICY_EAGER,
+    POLICY_SHARED,
+    Process,
+    Vma,
+)
+from repro.osmodel.frames import FrameAllocator, OutOfMemoryError
+from repro.osmodel.index_tree import IndexLookup, IndexTree, pack_key
+from repro.osmodel.kernel import Kernel, SegmentationViolation, Translation
+from repro.osmodel.pagetable import (
+    PERM_READ,
+    PERM_RW,
+    PERM_WRITE,
+    PageFault,
+    PageTable,
+    PageTableEntry,
+)
+from repro.osmodel.segments import (
+    OsSegmentTable,
+    Segment,
+    SegmentAllocator,
+    SegmentFault,
+)
+
+__all__ = [
+    "POLICY_DEMAND",
+    "POLICY_EAGER",
+    "POLICY_SHARED",
+    "Process",
+    "Vma",
+    "FrameAllocator",
+    "OutOfMemoryError",
+    "IndexLookup",
+    "IndexTree",
+    "pack_key",
+    "Kernel",
+    "SegmentationViolation",
+    "Translation",
+    "PERM_READ",
+    "PERM_RW",
+    "PERM_WRITE",
+    "PageFault",
+    "PageTable",
+    "PageTableEntry",
+    "OsSegmentTable",
+    "Segment",
+    "SegmentAllocator",
+    "SegmentFault",
+]

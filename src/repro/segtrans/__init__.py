@@ -1,0 +1,19 @@
+"""Hardware structures for scalable delayed segment translation."""
+
+from repro.segtrans.index_cache import IndexCache
+from repro.segtrans.many_segment import ManySegmentTranslator, SegmentTranslation
+from repro.segtrans.rmm import DirectSegment, RangeTlb, RangeTlbResult
+from repro.segtrans.segment_cache import SegmentCache, SegmentCacheEntry
+from repro.segtrans.segment_table import HwSegmentTable
+
+__all__ = [
+    "IndexCache",
+    "ManySegmentTranslator",
+    "SegmentTranslation",
+    "DirectSegment",
+    "RangeTlb",
+    "RangeTlbResult",
+    "SegmentCache",
+    "SegmentCacheEntry",
+    "HwSegmentTable",
+]

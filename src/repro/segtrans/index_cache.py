@@ -1,0 +1,75 @@
+"""Index cache: a small physical cache of index-tree nodes (Section IV-C).
+
+The index tree lives in memory; reading 4 levels of it per LLC miss would
+be ruinous, so a dedicated cache of 64-byte tree nodes — "a regular cache
+of 64 byte blocks addressed by physical address" — absorbs the traversal.
+Default geometry is 32 KB, 8-way, 3 cycles (CACTI at 3.4 GHz); Figure 7
+sweeps 128 B – 64 KB.
+
+One index cache is shared by all cores (the paper notes a multi-core
+processor needs only one).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cache.setassoc import SetAssociativeCache
+from repro.common.params import CacheConfig, SegmentTranslationConfig
+from repro.common.stats import StatGroup
+
+#: Cost (cycles) of fetching one tree node from memory on an index-cache
+#: miss; the caller can substitute a DRAM-model charge.
+ChargeFn = Callable[[int], int]
+
+
+class IndexCache:
+    """Physically addressed node cache with miss-fill from memory."""
+
+    def __init__(self, config: SegmentTranslationConfig | None = None,
+                 memory_charge: Optional[ChargeFn] = None,
+                 stats: StatGroup | None = None,
+                 size_bytes: Optional[int] = None) -> None:
+        self.config = config or SegmentTranslationConfig()
+        size = size_bytes if size_bytes is not None else self.config.index_cache_size
+        ways = self.config.index_cache_ways
+        # Tiny sweep points (Figure 7 goes down to 128 B) cannot sustain
+        # 8 ways; degrade associativity gracefully.
+        while size // (ways * 64) < 1 and ways > 1:
+            ways //= 2
+        self._cache = SetAssociativeCache(
+            CacheConfig(size, ways, self.config.index_cache_latency), "index_cache")
+        self.stats = stats or StatGroup("index_cache")
+        self._memory_charge = memory_charge or (lambda pa: 200)
+
+    @property
+    def latency(self) -> int:
+        return self.config.index_cache_latency
+
+    @property
+    def size_bytes(self) -> int:
+        return self._cache.config.size_bytes
+
+    def read_node(self, node_pa: int) -> int:
+        """Read one tree node; returns cycles (hit latency or miss+fill)."""
+        key = node_pa >> 6
+        self.stats.add("reads")
+        if self._cache.lookup(key) is not None:
+            self.stats.add("hits")
+            return self.latency
+        self.stats.add("misses")
+        cycles = self.latency + self._memory_charge(node_pa)
+        self._cache.insert(key)
+        return cycles
+
+    def flush(self) -> None:
+        """Drop all nodes (index-tree rebuild moves the tree in memory)."""
+        for key in self._cache.resident_keys():
+            self._cache.invalidate(key)
+        self.stats.add("flushes")
+
+    def hit_rate(self) -> float:
+        return self.stats.hit_rate()
+
+    def occupancy(self) -> int:
+        return self._cache.occupancy()

@@ -1,0 +1,35 @@
+"""Trace-driven simulation drivers and experiment helpers."""
+
+from repro.sim.results import ComparisonRow, SimulationResult, geometric_mean
+from repro.sim.runner import (
+    MMU_CONFIGS,
+    PRIOR_CONFIGS,
+    build_mmu,
+    compare_configs,
+    lay_out,
+    run_workload,
+    sweep_delayed_tlb,
+)
+from repro.sim.scheduler import ScheduledResult, ScheduledSimulator, SwitchCosts
+from repro.sim.simulator import Simulator
+from repro.sim.sweep import sweep_config, sweep_grid, with_overrides
+
+__all__ = [
+    "ComparisonRow",
+    "SimulationResult",
+    "geometric_mean",
+    "MMU_CONFIGS",
+    "PRIOR_CONFIGS",
+    "build_mmu",
+    "compare_configs",
+    "lay_out",
+    "run_workload",
+    "sweep_delayed_tlb",
+    "Simulator",
+    "ScheduledResult",
+    "ScheduledSimulator",
+    "SwitchCosts",
+    "sweep_config",
+    "sweep_grid",
+    "with_overrides",
+]

@@ -1,0 +1,96 @@
+"""Plain-text rendering of experiment results.
+
+Everything here emits ASCII — suitable for terminals, logs, and pasting
+into issues — and operates on plain dicts/sequences so benchmarks, the
+CLI, and user scripts can share one presentation layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def horizontal_bars(values: Mapping[str, float], width: int = 40,
+                    reference: float | None = None,
+                    fmt: str = "{:6.3f}") -> str:
+    """Render labeled horizontal bars scaled to the maximum value.
+
+    ``reference`` draws a marker column at that value (e.g. the baseline
+    at 1.0 in a normalized-performance chart).
+    """
+    if not values:
+        return "(no data)"
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(k) for k in values)
+    lines = []
+    for label, value in values.items():
+        filled = int(round(width * value / peak))
+        bar = "#" * filled
+        if reference is not None and 0 < reference <= peak:
+            marker = int(round(width * reference / peak))
+            if marker >= len(bar):
+                bar = bar.ljust(marker) + "|"
+            else:
+                bar = bar[:marker] + "|" + bar[marker + 1:]
+        lines.append(f"{label:<{label_width}}  {fmt.format(value)}  {bar}")
+    return "\n".join(lines)
+
+
+def series_table(series: Mapping[str, Sequence[float]],
+                 columns: Sequence[str], fmt: str = "{:8.2f}",
+                 first_header: str = "series") -> str:
+    """Render named series against shared column labels (sweep output)."""
+    label_width = max([len(first_header)] + [len(k) for k in series])
+    header = f"{first_header:<{label_width}}" + "".join(
+        str(c).rjust(max(8, len(fmt.format(0)))) for c in columns)
+    lines = [header]
+    for label, row in series.items():
+        lines.append(f"{label:<{label_width}}"
+                     + "".join(fmt.format(v) for v in row))
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str],
+                   rows: Iterable[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    rule = "|" + "|".join("---" for _ in headers) + "|"
+    body = ["| " + " | ".join(str(c) for c in row) + " |" for row in rows]
+    return "\n".join([head, rule] + body)
+
+
+def breakdown_chart(breakdown: Mapping[str, float], width: int = 50) -> str:
+    """One stacked bar of cycle/energy components with a legend."""
+    total = sum(breakdown.values())
+    if total <= 0:
+        return "(empty breakdown)"
+    glyphs = "#=+:.%@*"
+    segments = []
+    legend = []
+    for i, (name, value) in enumerate(breakdown.items()):
+        glyph = glyphs[i % len(glyphs)]
+        span = int(round(width * value / total))
+        segments.append(glyph * span)
+        legend.append(f"  {glyph} {name}: {100 * value / total:.1f}%")
+    return "[" + "".join(segments).ljust(width)[:width] + "]\n" + "\n".join(legend)
+
+
+def normalized_comparison(rows: Mapping[str, Mapping[str, float]],
+                          baseline_key: str = "baseline") -> str:
+    """Render per-workload normalized results plus a geomean row."""
+    from repro.sim.results import geometric_mean
+
+    configs: List[str] = []
+    for row in rows.values():
+        for key in row:
+            if key not in configs:
+                configs.append(key)
+    table: Dict[str, List[float]] = {
+        name: [row.get(c, 0.0) for c in configs] for name, row in rows.items()
+    }
+    table["geomean"] = [
+        geometric_mean([rows[n].get(c, 0.0) for n in rows]) for c in configs
+    ]
+    return series_table(table, configs, fmt="{:16.3f}", first_header="workload")

@@ -1,0 +1,72 @@
+"""Result containers and cross-configuration comparison helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.stats import mpki
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured in one (workload, MMU) simulation."""
+
+    workload: str
+    mmu: str
+    instructions: int
+    accesses: int
+    cycles: float
+    ipc: float
+    cycle_breakdown: Dict[str, float]
+    stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+
+    def group(self, name: str) -> Dict[str, int]:
+        return self.stats.get(name, {})
+
+    def llc_miss_rate(self) -> float:
+        hierarchy = self.group("cache_hierarchy")
+        accesses = hierarchy.get("accesses", 0)
+        if not accesses:
+            return 0.0
+        return hierarchy.get("llc_misses", 0) / accesses
+
+    def counter(self, group: str, name: str) -> int:
+        return self.group(group).get(name, 0)
+
+    def tlb_mpki(self, group: str = "delayed_tlb") -> float:
+        return mpki(self.counter(group, "misses"), self.instructions)
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Normalized performance — the paper's Figure 9 metric."""
+        if baseline.ipc <= 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+
+@dataclass
+class ComparisonRow:
+    """One workload's results across a set of configurations."""
+
+    workload: str
+    results: Dict[str, SimulationResult]
+
+    def normalized(self, baseline_key: str = "baseline") -> Dict[str, float]:
+        base = self.results[baseline_key]
+        return {key: result.speedup_over(base)
+                for key, result in self.results.items()}
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geomean of positive values (the paper's cross-workload summary)."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    product = 1.0
+    for v in filtered:
+        product *= v
+    return product ** (1.0 / len(filtered))

@@ -1,0 +1,127 @@
+"""One-call experiment helpers used by examples, tests and benchmarks.
+
+``run_workload`` builds a fresh kernel, lays out the named workload,
+constructs the requested MMU configuration, and simulates — so every
+(workload, configuration) data point is independent and reproducible.
+
+MMU configuration names:
+
+* ``baseline``             — conventional physically addressed system;
+* ``ideal``                — no-TLB-miss upper bound;
+* ``hybrid_tlb``           — hybrid virtual caching + delayed TLB;
+* ``hybrid_segments``      — hybrid + many-segment translation (with SC);
+* ``hybrid_segments_nosc`` — many-segment without the segment cache.
+
+Prior schemes (see ``repro.core.prior`` / ``repro.core.thp``):
+
+* ``direct_segment`` — one range + paging (Basu et al., ISCA'13);
+* ``rmm``            — 32 core-side ranges (Karakostas et al., ISCA'15);
+* ``enigma``         — intermediate addresses + delayed page TLB;
+* ``baseline_thp``   — conventional MMU with transparent 2 MB pages
+  (runs on a THP kernel with 2 MB-aligned eager allocations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.common.params import SystemConfig
+from repro.core.conventional import ConventionalMmu
+from repro.core.hybrid import HybridMmu
+from repro.core.ideal import IdealMmu
+from repro.core.prior import DirectSegmentMmu, EnigmaMmu, RmmMmu
+from repro.core.thp import ThpBaselineMmu
+from repro.core.mmu_base import MmuBase
+from repro.osmodel.kernel import Kernel
+from repro.sim.results import ComparisonRow, SimulationResult
+from repro.sim.simulator import Simulator
+from repro.workloads import catalog
+from repro.workloads.spec import LaidOutWorkload, WorkloadSpec
+
+MMU_CONFIGS = ("baseline", "ideal", "hybrid_tlb", "hybrid_segments",
+               "hybrid_segments_nosc")
+
+#: Prior translation schemes (paper Sections II / IV-A.2), constructible
+#: through :func:`build_mmu` but not part of the default comparison set.
+PRIOR_CONFIGS = ("direct_segment", "rmm", "enigma", "baseline_thp")
+
+
+def build_mmu(name: str, kernel: Kernel,
+              config: Optional[SystemConfig] = None) -> MmuBase:
+    """Construct one MMU configuration by name."""
+    if name == "baseline":
+        return ConventionalMmu(kernel, config)
+    if name == "ideal":
+        return IdealMmu(kernel, config)
+    if name == "hybrid_tlb":
+        return HybridMmu(kernel, config, delayed="tlb")
+    if name == "hybrid_segments":
+        return HybridMmu(kernel, config, delayed="segments")
+    if name == "hybrid_segments_nosc":
+        return HybridMmu(kernel, config, delayed="segments",
+                         use_segment_cache=False)
+    if name == "direct_segment":
+        return DirectSegmentMmu(kernel, config)
+    if name == "rmm":
+        return RmmMmu(kernel, config)
+    if name == "enigma":
+        return EnigmaMmu(kernel, config)
+    if name == "baseline_thp":
+        return ThpBaselineMmu(kernel, config)
+    raise ValueError(f"unknown MMU configuration {name!r}; "
+                     f"known: {MMU_CONFIGS + PRIOR_CONFIGS}")
+
+
+def lay_out(spec: Union[str, WorkloadSpec], kernel: Kernel,
+            seed: int = 42) -> LaidOutWorkload:
+    """Instantiate a workload (by name or spec) on a kernel."""
+    if isinstance(spec, str):
+        spec = catalog.spec(spec)
+    return LaidOutWorkload(spec, kernel, seed=seed)
+
+
+def run_workload(workload: Union[str, WorkloadSpec], mmu_name: str,
+                 accesses: int = 100_000, warmup: int = 20_000,
+                 config: Optional[SystemConfig] = None,
+                 seed: int = 42) -> SimulationResult:
+    """Simulate one (workload, MMU) point on a fresh system.
+
+    ``baseline_thp`` runs on a transparent-huge-page kernel (2 MB-aligned
+    eager allocations); every other configuration uses the standard one.
+    """
+    config = config or SystemConfig()
+    kernel = Kernel(config, transparent_huge_pages=mmu_name == "baseline_thp")
+    laid_out = lay_out(workload, kernel, seed=seed)
+    mmu = build_mmu(mmu_name, kernel, config)
+    result = Simulator(mmu).run(laid_out, accesses, warmup=warmup, seed=seed)
+    return result
+
+
+def compare_configs(workload: Union[str, WorkloadSpec],
+                    mmu_names: Iterable[str] = MMU_CONFIGS,
+                    accesses: int = 100_000, warmup: int = 20_000,
+                    config: Optional[SystemConfig] = None,
+                    seed: int = 42) -> ComparisonRow:
+    """Run one workload under several MMU configurations."""
+    if isinstance(workload, str):
+        name = workload
+    else:
+        name = workload.name
+    results: Dict[str, SimulationResult] = {}
+    for mmu_name in mmu_names:
+        results[mmu_name] = run_workload(workload, mmu_name, accesses,
+                                         warmup, config, seed)
+    return ComparisonRow(name, results)
+
+
+def sweep_delayed_tlb(workload: Union[str, WorkloadSpec],
+                      entry_counts: Iterable[int],
+                      accesses: int = 100_000, warmup: int = 20_000,
+                      seed: int = 42) -> List[SimulationResult]:
+    """Figure 4 helper: hybrid+delayed-TLB across TLB sizes."""
+    results = []
+    for entries in entry_counts:
+        config = SystemConfig().with_delayed_tlb_entries(entries)
+        results.append(run_workload(workload, "hybrid_tlb", accesses,
+                                    warmup, config, seed))
+    return results

@@ -1,0 +1,6 @@
+"""Timing: DRAM model and analytic cycle accounting."""
+
+from repro.timing.dram import DramModel
+from repro.timing.model import CycleAccounting, TimingModel
+
+__all__ = ["DramModel", "CycleAccounting", "TimingModel"]

@@ -1,0 +1,113 @@
+"""Analytic cycle model over per-access outcomes.
+
+The paper runs MARSSx86 cycle-accurately; reproducing an OoO pipeline at
+cycle fidelity in Python is infeasible at trace lengths that exercise TLB
+reach (DESIGN.md §6).  Instead we use a standard analytic decomposition:
+
+    cycles = instructions × base_CPI
+           + Σ front_cycles                (translation blocking the L1)
+           + Σ exposed memory stalls
+
+where an access's memory stall is its cache + delayed-translation + DRAM
+cycles beyond the pipelined L1 hit, discounted by the workload's
+memory-level parallelism (independent misses overlap in the ROB/LSQ; a
+pointer-chasing workload has MLP≈1, a streaming one MLP≈4+).  The same
+model is applied to every MMU configuration, so relative performance —
+what Figure 9 reports — reflects only where translation work happens and
+how many misses each scheme takes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.params import CoreConfig
+
+if TYPE_CHECKING:  # avoid a circular import; outcomes are duck-typed here
+    from repro.core.mmu_base import AccessOutcome
+
+
+@dataclass
+class CycleAccounting:
+    """Running totals for one simulated core/workload."""
+
+    instructions: int = 0
+    memory_accesses: int = 0
+    front_stall_cycles: int = 0
+    cache_stall_cycles: int = 0
+    delayed_stall_cycles: int = 0
+    dram_stall_cycles: int = 0
+
+    def merge(self, other: "CycleAccounting") -> None:
+        self.instructions += other.instructions
+        self.memory_accesses += other.memory_accesses
+        self.front_stall_cycles += other.front_stall_cycles
+        self.cache_stall_cycles += other.cache_stall_cycles
+        self.delayed_stall_cycles += other.delayed_stall_cycles
+        self.dram_stall_cycles += other.dram_stall_cycles
+
+
+class TimingModel:
+    """Combines access outcomes into cycles / IPC."""
+
+    def __init__(self, core: CoreConfig | None = None, mlp: float = 1.0,
+                 l1_hit_pipelined_cycles: int = 4) -> None:
+        self.core = core or CoreConfig()
+        if mlp < 1.0:
+            raise ValueError("MLP cannot be below 1")
+        self.mlp = mlp
+        # An L1 hit of this latency is fully hidden by the pipeline.
+        self.l1_hit_pipelined_cycles = l1_hit_pipelined_cycles
+        self.acct = CycleAccounting()
+
+    def record(self, outcome: "AccessOutcome", instructions_between: int = 1) -> None:
+        """Account one memory access plus the instructions preceding it."""
+        acct = self.acct
+        acct.instructions += instructions_between
+        acct.memory_accesses += 1
+        acct.front_stall_cycles += outcome.front_cycles
+        exposed_cache = max(0, outcome.cache_cycles - self.l1_hit_pipelined_cycles)
+        acct.cache_stall_cycles += exposed_cache
+        acct.delayed_stall_cycles += outcome.delayed_cycles
+        acct.dram_stall_cycles += outcome.dram_cycles
+
+    def record_compute(self, instructions: int) -> None:
+        """Account trailing non-memory instructions."""
+        self.acct.instructions += instructions
+
+    # ------------------------------------------------------------------ #
+    # Derived results
+    # ------------------------------------------------------------------ #
+
+    def total_cycles(self) -> float:
+        acct = self.acct
+        base = acct.instructions * self.core.base_cpi
+        # Translation stalls that block the access path do not overlap.
+        blocking = acct.front_stall_cycles
+        # Miss stalls overlap across independent accesses (MLP discount).
+        overlapped = (acct.cache_stall_cycles + acct.delayed_stall_cycles
+                      + acct.dram_stall_cycles) / self.mlp
+        return base + blocking + overlapped
+
+    def ipc(self) -> float:
+        cycles = self.total_cycles()
+        if cycles <= 0:
+            return 0.0
+        return self.acct.instructions / cycles
+
+    def cpi(self) -> float:
+        if not self.acct.instructions:
+            return 0.0
+        return self.total_cycles() / self.acct.instructions
+
+    def breakdown(self) -> dict:
+        """Cycle components (for stacked-bar style reporting)."""
+        acct = self.acct
+        return {
+            "base": acct.instructions * self.core.base_cpi,
+            "translation_front": acct.front_stall_cycles,
+            "cache": acct.cache_stall_cycles / self.mlp,
+            "translation_delayed": acct.delayed_stall_cycles / self.mlp,
+            "dram": acct.dram_stall_cycles / self.mlp,
+        }

@@ -1,0 +1,58 @@
+"""Delayed TLB: page-granularity translation behind the LLC (Section IV-A).
+
+The delayed TLB is a single large set-associative TLB consulted only on
+LLC misses for non-synonym blocks.  Because it is off the core-to-L1
+critical path its capacity can grow far past conventional L2 TLBs — the
+paper sweeps 1K to 64K entries (Figure 4) — and it is *shared* by all
+cores, so its entries are keyed by ASID + VPN.
+
+This class wraps :class:`SetAssociativeTlb` with the miss bookkeeping the
+experiments need (MPKI accounting against instruction counts happens in
+the harness) and with the shootdown interface the OS directs at the shared
+delayed structure when a non-synonym mapping changes (Section III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.params import TlbConfig
+from repro.common.stats import StatGroup
+from repro.tlb.base import SetAssociativeTlb, TlbEntry
+
+
+class DelayedTlb:
+    """Shared post-LLC translation TLB with fixed (page) granularity."""
+
+    def __init__(self, config: TlbConfig, stats: StatGroup | None = None) -> None:
+        self.stats = stats or StatGroup("delayed_tlb")
+        self._tlb = SetAssociativeTlb(config, "delayed_tlb", self.stats)
+
+    @property
+    def latency(self) -> int:
+        return self._tlb.latency
+
+    def lookup(self, page_key: int) -> Optional[TlbEntry]:
+        """Probe on an LLC miss; None means a page walk is required."""
+        return self._tlb.lookup(page_key)
+
+    def fill(self, entry: TlbEntry) -> None:
+        """Install a walked translation."""
+        self._tlb.fill(entry)
+
+    def shootdown(self, page_key: int) -> None:
+        """OS-directed invalidation of one page mapping."""
+        self._tlb.invalidate(page_key)
+
+    def flush_asid(self, asid: int) -> int:
+        """Invalidate every mapping of a dying/remapped address space."""
+        return self._tlb.flush_asid(asid)
+
+    def accesses(self) -> int:
+        return self.stats["lookups"]
+
+    def misses(self) -> int:
+        return self.stats["misses"]
+
+    def hit_rate(self) -> float:
+        return self.stats.hit_rate()

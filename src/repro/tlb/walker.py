@@ -1,0 +1,95 @@
+"""Hardware page-walker cost model.
+
+A native x86-64 walk reads one PTE per radix level (4 levels).  Real
+walkers keep a small *page-walk cache* of upper-level entries so most
+walks skip straight to the leaf level; we model a walk cache over the
+L3-level (2 MB-region) entry, which collapses a hit walk to a single leaf
+PTE read.
+
+The walker is decoupled from both the page table (a ``resolve`` callable
+that returns the PTE physical addresses touched by a walk) and the memory
+system (a ``charge`` callable that returns the cycles for one PTE read,
+letting the simulator route PTE reads through the cache hierarchy — this
+is what lets large on-chip caches absorb walk traffic, a first-order
+effect in the paper's Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.common.params import WalkerConfig
+from repro.common.stats import StatGroup
+
+# Resolve callback: (asid, va) -> sequence of PTE physical addresses,
+# ordered root -> leaf.  Raises KeyError for unmapped addresses.
+ResolveFn = Callable[[int, int], Sequence[int]]
+# Charge callback: (pte_physical_address) -> cycles for the read.
+ChargeFn = Callable[[int], int]
+
+
+@dataclass(slots=True)
+class WalkResult:
+    """Cost summary of one page walk."""
+
+    cycles: int
+    memory_accesses: int
+    walk_cache_hit: bool
+
+
+class PageWalker:
+    """Radix-walk cost model with an upper-level page-walk cache."""
+
+    def __init__(self, config: WalkerConfig, resolve: ResolveFn, charge: ChargeFn,
+                 stats: StatGroup | None = None) -> None:
+        self.config = config
+        self.resolve = resolve
+        self.charge = charge
+        self.stats = stats or StatGroup("page_walker")
+        # Walk cache: maps (asid, va >> 21) -> True; LRU via dict order.
+        self._walk_cache: dict[tuple[int, int], bool] = {}
+
+    def _walk_cache_lookup(self, asid: int, va: int) -> bool:
+        key = (asid, va >> 21)
+        if key in self._walk_cache:
+            del self._walk_cache[key]
+            self._walk_cache[key] = True
+            return True
+        return False
+
+    def _walk_cache_fill(self, asid: int, va: int) -> None:
+        key = (asid, va >> 21)
+        if key in self._walk_cache:
+            del self._walk_cache[key]
+        elif len(self._walk_cache) >= self.config.walk_cache_entries:
+            oldest = next(iter(self._walk_cache))
+            del self._walk_cache[oldest]
+        self._walk_cache[key] = True
+
+    def walk(self, asid: int, va: int) -> WalkResult:
+        """Walk the page table for (asid, va), charging each PTE read.
+
+        A walk-cache hit reads only the leaf PTE; a miss reads every level
+        and refills the walk cache.
+        """
+        self.stats.add("walks")
+        pte_addresses = self.resolve(asid, va)
+        hit = self._walk_cache_lookup(asid, va)
+        if hit:
+            self.stats.add("walk_cache_hits")
+            touched = pte_addresses[-1:]
+        else:
+            touched = list(pte_addresses)
+            self._walk_cache_fill(asid, va)
+        cycles = self.config.per_level_overhead * len(touched)
+        for pte_pa in touched:
+            cycles += self.charge(pte_pa)
+        self.stats.add("pte_reads", len(touched))
+        self.stats.add("walk_cycles", cycles)
+        return WalkResult(cycles=cycles, memory_accesses=len(touched),
+                          walk_cache_hit=hit)
+
+    def flush(self) -> None:
+        """Drop walk-cache contents (address-space teardown / remap storms)."""
+        self._walk_cache.clear()

@@ -1,0 +1,46 @@
+"""Synthetic-but-calibrated workload generation."""
+
+from repro.workloads.catalog import (
+    CACHE_FRIENDLY,
+    FIG4_WORKLOADS,
+    MEMORY_INTENSIVE,
+    SYNONYM_WORKLOADS,
+    TABLE3_WORKLOADS,
+    all_specs,
+    names,
+    spec,
+)
+from repro.workloads.analysis import TraceAnalyzer, TraceProfile, analyze, estimate_tlb_hit_rate
+from repro.workloads.patterns import build_pattern
+from repro.workloads.spec import (
+    LaidOutWorkload,
+    PatternMix,
+    SharingSpec,
+    WorkloadSpec,
+)
+from repro.workloads import tracefile
+from repro.workloads.trace import TraceRecord, interleave_round_robin, take
+
+__all__ = [
+    "CACHE_FRIENDLY",
+    "FIG4_WORKLOADS",
+    "MEMORY_INTENSIVE",
+    "SYNONYM_WORKLOADS",
+    "TABLE3_WORKLOADS",
+    "all_specs",
+    "names",
+    "spec",
+    "build_pattern",
+    "TraceAnalyzer",
+    "TraceProfile",
+    "analyze",
+    "estimate_tlb_hit_rate",
+    "LaidOutWorkload",
+    "PatternMix",
+    "SharingSpec",
+    "WorkloadSpec",
+    "tracefile",
+    "TraceRecord",
+    "interleave_round_robin",
+    "take",
+]

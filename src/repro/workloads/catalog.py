@@ -1,0 +1,279 @@
+"""Calibrated workload catalog.
+
+Each entry approximates one benchmark from the paper's evaluation
+(SPEC CPU2006 subset, PARSEC ferret, server workloads, GUPS, NPB, tigr,
+Graph500, memcached, stream, mummer) with a synthetic spec whose
+*address-stream statistics* — working-set size, locality family, sharing
+ratio, allocation profile — match the paper's published per-workload
+numbers (Table I sharing ratios, Table III segment counts and usage,
+Figure 4 TLB-reach behaviour).
+
+Footprints are scaled with the rest of the machine (2 MB LLC as in
+Table IV); what matters for every experiment is the ratio of working set
+to TLB reach and LLC capacity, which the scaling preserves.  EXPERIMENTS.md
+records where exact paper values were unrecoverable from the provided
+text and how the reconstruction was chosen.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.spec import PatternMix, SharingSpec, WorkloadSpec
+
+MB = 1024 * 1024
+
+
+def _mix(kind: str, weight: float, **params) -> PatternMix:
+    return PatternMix(kind, weight, tuple(sorted(params.items())))
+
+
+_SPECS: List[WorkloadSpec] = [
+    # ------------------------------------------------------------------ #
+    # Big-memory / TLB-hostile workloads (Figure 4's flat curves)
+    # ------------------------------------------------------------------ #
+    WorkloadSpec(
+        name="gups",
+        footprint_bytes=256 * MB,
+        patterns=(_mix("random", 1.0),),
+        mem_ratio=0.5, mlp=2.0, write_fraction=0.5,
+        local_fraction=0.15, hot_fraction=0.0,
+    ),
+    WorkloadSpec(
+        name="milc",
+        footprint_bytes=192 * MB,
+        patterns=(_mix("random", 0.8), _mix("sequential", 0.2)),
+        mem_ratio=0.35, mlp=2.0, local_fraction=0.25, hot_fraction=0.3,
+    ),
+    WorkloadSpec(
+        name="mcf",
+        footprint_bytes=224 * MB,
+        patterns=(_mix("chase", 0.7), _mix("zipf", 0.3, theta=0.6)),
+        mem_ratio=0.35, mlp=1.0, local_fraction=0.25, hot_fraction=0.35,
+        alloc_chunk_bytes=16 * MB, fragmented=True, touch_fraction=0.83,
+    ),
+    # ------------------------------------------------------------------ #
+    # Locality-bearing SPEC workloads (Figure 4's falling curves)
+    # ------------------------------------------------------------------ #
+    WorkloadSpec(
+        name="xalancbmk",
+        footprint_bytes=48 * MB,
+        patterns=(_mix("zipf", 0.8, theta=0.9), _mix("random", 0.2)),
+        mem_ratio=0.3, mlp=1.5,
+        alloc_chunk_bytes=512 * 1024, fragmented=True, touch_fraction=0.75,
+    ),
+    WorkloadSpec(
+        name="tigr",
+        footprint_bytes=64 * MB,
+        patterns=(_mix("random", 0.5), _mix("strided", 0.5, stride=4160)),
+        mem_ratio=0.4, mlp=1.2, hot_fraction=0.35,
+        alloc_chunk_bytes=512 * 1024, fragmented=True, touch_fraction=0.70,
+    ),
+    WorkloadSpec(
+        name="omnetpp",
+        footprint_bytes=32 * MB,
+        patterns=(_mix("zipf", 0.9, theta=0.8), _mix("sequential", 0.1)),
+        mem_ratio=0.3, mlp=1.5, hot_fraction=0.7,
+        alloc_chunk_bytes=4 * MB, fragmented=True,
+    ),
+    WorkloadSpec(
+        name="soplex",
+        footprint_bytes=32 * MB,
+        # Column sweeps (large stride, wrapping within the run) plus a
+        # skewed scan of the factorization working set.
+        patterns=(_mix("strided", 0.75, stride=8256),
+                  _mix("zipf", 0.25, theta=0.7)),
+        mem_ratio=0.3, mlp=2.5, hot_fraction=0.5,
+    ),
+    WorkloadSpec(
+        name="astar",
+        footprint_bytes=16 * MB,
+        patterns=(_mix("zipf", 0.7, theta=1.0), _mix("chase", 0.3)),
+        mem_ratio=0.3, mlp=1.2, hot_fraction=0.7,
+        alloc_chunk_bytes=2 * MB, fragmented=True,
+    ),
+    WorkloadSpec(
+        name="cactus",
+        footprint_bytes=24 * MB,
+        patterns=(_mix("strided", 0.8, stride=16448), _mix("sequential", 0.2)),
+        mem_ratio=0.3, mlp=2.5, hot_fraction=0.7,
+    ),
+    WorkloadSpec(
+        name="gemsfdtd",
+        footprint_bytes=48 * MB,
+        patterns=(_mix("sequential", 0.6), _mix("strided", 0.4, stride=32832)),
+        mem_ratio=0.35, mlp=3.0, hot_fraction=0.7,
+    ),
+    # ------------------------------------------------------------------ #
+    # Other big-memory applications (Table III)
+    # ------------------------------------------------------------------ #
+    WorkloadSpec(
+        name="canneal",
+        footprint_bytes=64 * MB,
+        patterns=(_mix("random", 0.9), _mix("zipf", 0.1, theta=0.5)),
+        mem_ratio=0.3, mlp=1.5, hot_fraction=0.3,
+        alloc_chunk_bytes=16 * MB, fragmented=True,
+    ),
+    WorkloadSpec(
+        name="stream",
+        footprint_bytes=64 * MB,
+        patterns=(_mix("sequential", 1.0),),
+        mem_ratio=0.4, mlp=4.0, local_fraction=0.25, hot_fraction=0.0,
+    ),
+    WorkloadSpec(
+        name="mummer",
+        footprint_bytes=48 * MB,
+        patterns=(_mix("random", 0.6), _mix("zipf", 0.4, theta=0.6)),
+        mem_ratio=0.35, mlp=1.3,
+        alloc_chunk_bytes=4 * MB, fragmented=True,
+    ),
+    WorkloadSpec(
+        name="memcached",
+        footprint_bytes=128 * MB,
+        patterns=(_mix("zipf", 1.0, theta=0.7),),
+        mem_ratio=0.3, mlp=1.5,
+        # The paper notes memcached grows on demand in 64 MB requests;
+        # scaled to our footprint that becomes many small, physically
+        # scattered requests — the segment-count stressor of Table III.
+        alloc_chunk_bytes=256 * 1024, fragmented=True, touch_fraction=0.45,
+    ),
+    WorkloadSpec(
+        name="npb_cg",
+        footprint_bytes=64 * MB,
+        patterns=(_mix("random", 0.5), _mix("sequential", 0.5)),
+        mem_ratio=0.35, mlp=2.0, hot_fraction=0.6,
+    ),
+    WorkloadSpec(
+        name="graph500",
+        footprint_bytes=96 * MB,
+        patterns=(_mix("random", 0.7), _mix("zipf", 0.3, theta=0.6)),
+        mem_ratio=0.35, mlp=2.0, hot_fraction=0.3,
+        alloc_chunk_bytes=32 * MB, fragmented=True,
+    ),
+    # ------------------------------------------------------------------ #
+    # Additional SPEC CPU2006 entries (the paper runs the full suite;
+    # these round out the coverage beyond the headline subjects)
+    # ------------------------------------------------------------------ #
+    WorkloadSpec(
+        name="bzip2",
+        footprint_bytes=12 * MB,
+        patterns=(_mix("sequential", 0.7), _mix("zipf", 0.3, theta=0.9)),
+        mem_ratio=0.3, mlp=2.0, hot_fraction=0.7,
+    ),
+    WorkloadSpec(
+        name="gcc",
+        footprint_bytes=16 * MB,
+        patterns=(_mix("zipf", 0.6, theta=0.9), _mix("chase", 0.2),
+                  _mix("sequential", 0.2)),
+        mem_ratio=0.3, mlp=1.5, hot_fraction=0.7,
+        alloc_chunk_bytes=2 * MB, fragmented=True,
+    ),
+    WorkloadSpec(
+        name="libquantum",
+        footprint_bytes=24 * MB,
+        patterns=(_mix("sequential", 0.9), _mix("strided", 0.1, stride=2112)),
+        mem_ratio=0.35, mlp=4.0, hot_fraction=0.3,
+    ),
+    WorkloadSpec(
+        name="lbm",
+        footprint_bytes=48 * MB,
+        patterns=(_mix("sequential", 0.5), _mix("strided", 0.5, stride=12352)),
+        mem_ratio=0.4, mlp=3.5, hot_fraction=0.3,
+    ),
+    WorkloadSpec(
+        name="sphinx3",
+        footprint_bytes=16 * MB,
+        patterns=(_mix("zipf", 0.7, theta=0.8), _mix("sequential", 0.3)),
+        mem_ratio=0.3, mlp=2.0, hot_fraction=0.7,
+    ),
+
+    # ------------------------------------------------------------------ #
+    # R/W-sharing (synonym) workloads — Table I / Table II
+    # ------------------------------------------------------------------ #
+    WorkloadSpec(
+        name="ferret",
+        footprint_bytes=8 * MB,
+        patterns=(_mix("zipf", 1.0, theta=0.3, lines_per_page=2),),
+        mem_ratio=0.3, mlp=1.5, local_fraction=0.3, hot_fraction=0.3,
+        sharing=SharingSpec(processes=4, area_fraction=0.02,
+                            access_fraction=0.012),
+    ),
+    WorkloadSpec(
+        name="postgres",
+        footprint_bytes=8 * MB,
+        patterns=(_mix("zipf", 1.0, theta=0.3, lines_per_page=2),),
+        mem_ratio=0.3, mlp=1.5, local_fraction=0.3, hot_fraction=0.3,
+        # The shared buffer pool has hot pages: they fit the baseline's
+        # 1088-entry reach but thrash the 64-entry synonym TLB — the
+        # paper's explanation for postgres's miss *increase*.
+        sharing=SharingSpec(processes=4, area_fraction=0.66,
+                            access_fraction=0.16, theta=0.6),
+    ),
+    WorkloadSpec(
+        name="specjbb",
+        footprint_bytes=10 * MB,
+        patterns=(_mix("zipf", 1.0, theta=0.3, lines_per_page=2),),
+        mem_ratio=0.3, mlp=1.5, local_fraction=0.3, hot_fraction=0.3,
+        sharing=SharingSpec(processes=2, area_fraction=0.01,
+                            access_fraction=0.005),
+    ),
+    WorkloadSpec(
+        name="firefox",
+        footprint_bytes=8 * MB,
+        patterns=(_mix("zipf", 1.0, theta=0.3, lines_per_page=2),),
+        mem_ratio=0.3, mlp=1.5, local_fraction=0.3, hot_fraction=0.3,
+        sharing=SharingSpec(processes=3, area_fraction=0.03,
+                            access_fraction=0.01),
+    ),
+    WorkloadSpec(
+        name="apache",
+        footprint_bytes=8 * MB,
+        patterns=(_mix("zipf", 1.0, theta=0.3, lines_per_page=2),),
+        mem_ratio=0.3, mlp=1.5, local_fraction=0.3, hot_fraction=0.3,
+        sharing=SharingSpec(processes=4, area_fraction=0.05,
+                            access_fraction=0.02),
+    ),
+    # A SPEC-like no-sharing control (Table I's 0 % rows).
+    WorkloadSpec(
+        name="speccpu_private",
+        footprint_bytes=24 * MB,
+        patterns=(_mix("zipf", 0.7, theta=0.8), _mix("sequential", 0.3)),
+        mem_ratio=0.3, mlp=2.0, hot_fraction=0.7,
+    ),
+]
+
+_BY_NAME: Dict[str, WorkloadSpec] = {s.name: s for s in _SPECS}
+
+#: Figure 4's delayed-TLB sweep subjects.
+FIG4_WORKLOADS = ("gups", "milc", "mcf", "xalancbmk", "tigr", "omnetpp",
+                  "soplex")
+#: Table III's segment-count subjects.
+TABLE3_WORKLOADS = ("astar", "mcf", "omnetpp", "cactus", "gemsfdtd",
+                    "xalancbmk", "canneal", "stream", "mummer", "tigr",
+                    "memcached", "npb_cg", "gups")
+#: Table I / Table II synonym workloads.
+SYNONYM_WORKLOADS = ("ferret", "postgres", "specjbb", "firefox", "apache")
+#: Figure 9's memory-intensive group (left partition of the figure).
+MEMORY_INTENSIVE = ("gups", "milc", "mcf", "xalancbmk", "tigr", "canneal",
+                    "memcached", "graph500")
+#: Figure 9's cache-friendly group (translation-insensitive partition).
+CACHE_FRIENDLY = ("astar", "omnetpp", "soplex", "cactus", "gemsfdtd",
+                  "stream", "npb_cg", "speccpu_private")
+
+
+def spec(name: str) -> WorkloadSpec:
+    """Look up one workload spec by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(_BY_NAME)}") from None
+
+
+def all_specs() -> List[WorkloadSpec]:
+    """Every catalog entry."""
+    return list(_SPECS)
+
+
+def names() -> List[str]:
+    """Names of every catalog workload."""
+    return [s.name for s in _SPECS]

@@ -1,0 +1,115 @@
+"""Tests for the CLI and the report-rendering helpers."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sim.report import (
+    breakdown_chart,
+    horizontal_bars,
+    markdown_table,
+    normalized_comparison,
+    series_table,
+)
+
+FAST = ["--accesses", "600", "--warmup", "200"]
+
+
+class TestReportHelpers:
+    def test_horizontal_bars_scaled(self):
+        out = horizontal_bars({"a": 1.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert lines[1].count("#") == 10        # max value fills the width
+        assert 4 <= lines[0].count("#") <= 6    # half-scale
+
+    def test_horizontal_bars_reference_marker(self):
+        out = horizontal_bars({"a": 2.0}, width=10, reference=1.0)
+        assert "|" in out
+
+    def test_horizontal_bars_empty(self):
+        assert horizontal_bars({}) == "(no data)"
+
+    def test_series_table_alignment(self):
+        out = series_table({"x": [1.0, 2.0]}, ["A", "B"])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "A" in lines[0] and "B" in lines[0]
+
+    def test_markdown_table(self):
+        out = markdown_table(["h1", "h2"], [["a", 1]])
+        assert out.splitlines()[1] == "|---|---|"
+        assert "| a | 1 |" in out
+
+    def test_breakdown_chart_percentages(self):
+        out = breakdown_chart({"compute": 3.0, "memory": 1.0}, width=20)
+        assert "75.0%" in out and "25.0%" in out
+
+    def test_breakdown_chart_empty(self):
+        assert breakdown_chart({}) == "(empty breakdown)"
+
+    def test_normalized_comparison_has_geomean(self):
+        out = normalized_comparison({
+            "w1": {"baseline": 1.0, "x": 2.0},
+            "w2": {"baseline": 1.0, "x": 0.5},
+        })
+        assert "geomean" in out
+        # geomean of 2.0 and 0.5 is 1.0
+        geomean_line = [l for l in out.splitlines() if "geomean" in l][0]
+        assert "1.000" in geomean_line
+
+
+class TestCliParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope", "baseline"])
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "gups", "nope"])
+
+
+class TestCliCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "gups" in out and "postgres" in out
+
+    def test_configs(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "hybrid_segments" in out and "rmm" in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "stream", "hybrid_tlb"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "ipc=" in out and "tlb_bypass_rate=1.000" in out
+
+    def test_run_with_llc_override(self, capsys):
+        assert main(["run", "stream", "baseline", "--llc-mb", "8"] + FAST) == 0
+        assert "ipc=" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "stream", "--configs",
+                     "baseline,ideal"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "normalized to baseline" in out
+        assert "ideal" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "stream", "--sizes", "1024,2048"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "1024" in out and "2048" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "stream"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "distinct pages=" in out

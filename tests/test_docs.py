@@ -1,0 +1,59 @@
+"""Documentation hygiene: code snippets parse, referenced names exist."""
+
+import ast
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).parent.parent
+DOC_FILES = sorted((ROOT / "docs").glob("*.md")) + [ROOT / "README.md"]
+
+
+def python_blocks(path):
+    text = path.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.S)
+
+
+class TestDocSnippets:
+    @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+    def test_python_blocks_parse(self, path):
+        for i, block in enumerate(python_blocks(path)):
+            try:
+                ast.parse(block)
+            except SyntaxError as exc:  # pragma: no cover - failure path
+                pytest.fail(f"{path.name} block {i}: {exc}")
+
+    def test_mechanisms_references_resolve(self):
+        """Every `repro.x.y` dotted module named in mechanisms.md imports."""
+        import importlib
+
+        text = (ROOT / "docs" / "mechanisms.md").read_text()
+        modules = set(re.findall(r"`(repro(?:\.\w+)+)`", text))
+        for dotted in sorted(modules):
+            parts = dotted.split(".")
+            # Import the longest importable prefix, then walk attributes
+            # (class members referenced as module.Class.method).
+            obj = None
+            consumed = 0
+            for i in range(len(parts), 0, -1):
+                try:
+                    obj = importlib.import_module(".".join(parts[:i]))
+                    consumed = i
+                    break
+                except ImportError:
+                    continue
+            assert obj is not None, dotted
+            for attr in parts[consumed:]:
+                assert hasattr(obj, attr), dotted
+                obj = getattr(obj, attr)
+
+    def test_experiments_lists_every_benchmark(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for bench in sorted((ROOT / "benchmarks").glob("test_*.py")):
+            assert bench.name in text, f"{bench.name} missing from EXPERIMENTS.md"
+
+    def test_readme_examples_exist(self):
+        text = (ROOT / "README.md").read_text()
+        for line in re.findall(r"python (examples/\w+\.py)", text):
+            assert (ROOT / line).exists(), line

@@ -1,0 +1,111 @@
+"""Tests for fork() with copy-on-write under hybrid virtual caching."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.address import PAGE_SIZE, page_base
+from repro.common.params import SystemConfig
+from repro.core import HybridMmu
+from repro.osmodel import Kernel
+
+MB = 1024 * 1024
+
+
+@pytest.fixture()
+def system():
+    config = dataclasses.replace(SystemConfig(), cores=2)
+    kernel = Kernel(config)
+    parent = kernel.create_process("parent")
+    vma = kernel.mmap(parent, 16 * PAGE_SIZE, policy="demand")
+    # Touch every page so fork has something to share.
+    for i in range(16):
+        kernel.translate(parent.asid, vma.vbase + i * PAGE_SIZE)
+    return config, kernel, parent, vma
+
+
+class TestForkSemantics:
+    def test_child_shares_frames_readonly(self, system):
+        _config, kernel, parent, vma = system
+        child = kernel.fork(parent)
+        t_parent = kernel.translate(parent.asid, vma.vbase)
+        t_child = kernel.translate(child.asid, vma.vbase)
+        assert page_base(t_parent.pa) == page_base(t_child.pa)
+        assert not t_parent.permissions & 0x2
+        assert not t_child.permissions & 0x2
+
+    def test_no_filter_update_needed(self, system):
+        """CoW pages are r/o synonyms: Section III-D says they may stay
+        virtually addressed — neither filter flags them."""
+        _config, kernel, parent, vma = system
+        child = kernel.fork(parent)
+        assert not parent.synonym_filter.is_synonym_candidate(vma.vbase)
+        assert not child.synonym_filter.is_synonym_candidate(vma.vbase)
+
+    def test_child_write_privatizes(self, system):
+        _config, kernel, parent, vma = system
+        child = kernel.fork(parent)
+        shared_pa = page_base(kernel.translate(parent.asid, vma.vbase).pa)
+        kernel.handle_cow_fault(child, vma.vbase)
+        child_pa = page_base(kernel.translate(child.asid, vma.vbase).pa)
+        parent_pa = page_base(kernel.translate(parent.asid, vma.vbase).pa)
+        assert child_pa != shared_pa
+        assert parent_pa == shared_pa  # parent untouched
+
+    def test_shared_vmas_stay_shared(self):
+        config = dataclasses.replace(SystemConfig(), cores=2)
+        kernel = Kernel(config)
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        kernel.mmap(a, MB, policy="eager")
+        kernel.mmap(b, MB, policy="eager")
+        vmas = kernel.mmap_shared([a, b], 4 * PAGE_SIZE)
+        child = kernel.fork(a)
+        child_shared = [v for v in child.vmas() if v.shared]
+        assert len(child_shared) == 1
+        t = kernel.translate(child.asid, child_shared[0].vbase)
+        assert page_base(t.pa) == page_base(
+            kernel.translate(a.asid, vmas[a.asid].vbase).pa)
+        assert child.synonym_filter.is_synonym_candidate(
+            child_shared[0].vbase)
+
+    def test_untouched_pages_fault_fresh_in_child(self, system):
+        _config, kernel, parent, _vma = system
+        extra = kernel.mmap(parent, 4 * PAGE_SIZE, policy="demand")
+        # Never touched in the parent before fork.
+        child = kernel.fork(parent)
+        t = kernel.translate(child.asid, extra.vbase)
+        assert t.pa is not None  # fresh demand frame, not a fault
+
+
+class TestForkThroughHybridMmu:
+    def test_cow_write_through_mmu(self, system):
+        config, kernel, parent, vma = system
+        mmu = HybridMmu(kernel, config, delayed="tlb")
+        # Parent caches a line r/w before the fork...
+        before = mmu.access(0, parent.asid, vma.vbase, True)
+        child = kernel.fork(parent)
+        # ...fork downgraded the cached copies in place.
+        from repro.common.address import virtual_block_key
+        line = mmu.caches.probe_line(0, virtual_block_key(parent.asid,
+                                                          vma.vbase))
+        if line is not None:
+            assert not line.permissions & 0x2
+        # Child read sees the shared frame.
+        read = mmu.access(1, child.asid, vma.vbase, False)
+        assert page_base(read.translated_pa) == page_base(before.translated_pa)
+        # Child write triggers the CoW permission fault and privatizes.
+        write = mmu.access(1, child.asid, vma.vbase, True)
+        assert mmu.hybrid_stats["permission_faults"] >= 1
+        assert page_base(write.translated_pa) != page_base(before.translated_pa)
+        # Parent's data is unaffected.
+        again = mmu.access(0, parent.asid, vma.vbase, False)
+        assert page_base(again.translated_pa) == page_base(before.translated_pa)
+
+    def test_both_sides_can_privatize(self, system):
+        config, kernel, parent, vma = system
+        mmu = HybridMmu(kernel, config, delayed="tlb")
+        child = kernel.fork(parent)
+        pa_child = mmu.access(1, child.asid, vma.vbase, True).translated_pa
+        pa_parent = mmu.access(0, parent.asid, vma.vbase, True).translated_pa
+        assert page_base(pa_child) != page_base(pa_parent)

@@ -1,0 +1,129 @@
+"""Tests for the physical frame allocator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.rng import make_rng
+from repro.osmodel import FrameAllocator, OutOfMemoryError
+
+MB = 1024 * 1024
+
+
+class TestBasicAllocation:
+    def test_alloc_contiguous(self):
+        f = FrameAllocator(1 * MB)  # 256 frames
+        start = f.alloc_contiguous(10)
+        assert start == 0
+        assert f.allocated_frames() == 10
+        assert f.free_frames() == 246
+
+    def test_alloc_frame(self):
+        f = FrameAllocator(1 * MB)
+        a = f.alloc_frame()
+        b = f.alloc_frame()
+        assert b == a + 1
+
+    def test_out_of_memory(self):
+        f = FrameAllocator(64 * 1024)  # 16 frames
+        f.alloc_contiguous(10)
+        with pytest.raises(OutOfMemoryError):
+            f.alloc_contiguous(10)
+
+    def test_invalid_sizes(self):
+        f = FrameAllocator(1 * MB)
+        with pytest.raises(ValueError):
+            f.alloc_contiguous(0)
+        with pytest.raises(ValueError):
+            FrameAllocator(1000)  # not a page multiple
+
+    def test_first_fit_reuses_hole(self):
+        f = FrameAllocator(1 * MB)
+        a = f.alloc_contiguous(16)
+        f.alloc_contiguous(16)
+        f.free(a, 16)
+        c = f.alloc_contiguous(8)
+        assert c == a  # hole reused
+
+
+class TestFreeAndCoalesce:
+    def test_free_coalesces_with_both_neighbours(self):
+        f = FrameAllocator(1 * MB)
+        a = f.alloc_contiguous(10)
+        b = f.alloc_contiguous(10)
+        c = f.alloc_contiguous(10)
+        f.free(a, 10)
+        f.free(c, 10)  # coalesces with the tail immediately
+        assert f.free_extent_count() == 2  # [a], [c..end]
+        f.free(b, 10)
+        assert f.free_extent_count() == 1  # everything merged back
+
+    def test_double_free_detected(self):
+        f = FrameAllocator(1 * MB)
+        a = f.alloc_contiguous(4)
+        f.free(a, 4)
+        with pytest.raises(ValueError):
+            f.free(a, 4)
+
+    def test_free_invalid_count(self):
+        f = FrameAllocator(1 * MB)
+        with pytest.raises(ValueError):
+            f.free(0, 0)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=1, max_value=16), min_size=1,
+                    max_size=40))
+    def test_conservation_property(self, sizes):
+        """alloc+free in any order conserves total frames."""
+        f = FrameAllocator(4 * MB)
+        total = f.total_frames
+        allocations = []
+        for s in sizes:
+            try:
+                allocations.append((f.alloc_contiguous(s), s))
+            except OutOfMemoryError:
+                break
+        assert f.free_frames() + f.allocated_frames() == total
+        for start, size in allocations:
+            f.free(start, size)
+        assert f.free_frames() == total
+        assert f.free_extent_count() == 1
+
+
+class TestBestEffort:
+    def test_single_extent_when_possible(self):
+        f = FrameAllocator(1 * MB)
+        pieces = f.alloc_best_effort(100)
+        assert len(pieces) == 1
+        assert pieces[0][1] == 100
+
+    def test_splits_under_fragmentation(self):
+        f = FrameAllocator(1 * MB)
+        rng = make_rng(7)
+        f.fragment(max_extent_frames=32, rng=rng)
+        pieces = f.alloc_best_effort(100)
+        assert sum(count for _start, count in pieces) == 100
+        assert len(pieces) > 1
+
+    def test_rollback_on_failure(self):
+        f = FrameAllocator(256 * 1024)  # 64 frames
+        before = f.free_frames()
+        with pytest.raises(OutOfMemoryError):
+            f.alloc_best_effort(1000)
+        assert f.free_frames() == before
+
+
+class TestFragmentation:
+    def test_largest_extent_bounded(self):
+        f = FrameAllocator(16 * MB)
+        f.fragment(max_extent_frames=64, rng=make_rng(1))
+        assert 0 < f.largest_free_extent() <= 64
+
+    def test_fragmentation_pins_frames(self):
+        f = FrameAllocator(16 * MB)
+        before = f.free_frames()
+        f.fragment(max_extent_frames=64, rng=make_rng(1))
+        assert f.free_frames() < before  # hole frames pinned
+
+    def test_frame_to_pa(self):
+        f = FrameAllocator(1 * MB)
+        assert f.frame_to_pa(3) == 3 * 4096

@@ -1,0 +1,169 @@
+"""Tests for the B-tree segment index."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.rng import make_rng
+from repro.osmodel import FrameAllocator, IndexTree, OsSegmentTable
+from repro.osmodel.index_tree import MAX_CHILDREN, MAX_KEYS, NODE_BYTES, pack_key
+
+MB = 1024 * 1024
+PAGE = 4096
+
+
+def build_system(n_segments, asid=1, seg_bytes=64 * PAGE, gap=PAGE):
+    frames = FrameAllocator(1024 * MB)
+    table = OsSegmentTable(capacity=4096)
+    va = 0x1000_0000
+    pa = 0
+    for _ in range(n_segments):
+        table.insert(asid, va, seg_bytes, pa)
+        va += seg_bytes + gap
+        pa += seg_bytes + PAGE
+    tree = IndexTree(frames)
+    tree.build(table)
+    return frames, table, tree
+
+
+class TestBuild:
+    def test_empty_tree(self):
+        frames = FrameAllocator(16 * MB)
+        table = OsSegmentTable()
+        tree = IndexTree(frames)
+        tree.build(table)
+        assert tree.root is None
+        result = tree.lookup(1, 0x1000)
+        assert result.seg_id is None
+        assert result.node_addresses == []
+
+    def test_depth_bound_for_2048_segments(self):
+        _f, _t, tree = build_system(2048)
+        # The paper quotes depth 4 assuming near-full nodes; at the
+        # realistic ~2/3 bulk-load fill we use, 2048 segments need one
+        # more level.  The walker charges actual node reads either way.
+        assert tree.depth <= 5
+
+    def test_footprint_tracks_fill_factor(self):
+        _f, _t, tree_small = build_system(1024)
+        _f2, _t2, tree_big = build_system(2048)
+        # The 1024-segment tree fits a 32 KB index cache; the
+        # 2048-segment tree overflows it (Figure 7(b) behaviour).
+        assert tree_small.footprint_bytes() < 32 * 1024
+        assert tree_big.footprint_bytes() > 32 * 1024
+
+    def test_nodes_are_64b_aligned_and_distinct(self):
+        _f, _t, tree = build_system(100)
+        addresses = []
+
+        def collect(node):
+            addresses.append(node.pa)
+            if node.children:
+                for child in node.children:
+                    collect(child)
+
+        collect(tree.root)
+        assert len(addresses) == tree.node_count
+        assert len(set(addresses)) == len(addresses)
+        assert all(pa % NODE_BYTES == 0 for pa in addresses)
+
+    def test_node_capacity_respected(self):
+        _f, _t, tree = build_system(500)
+
+        def check(node):
+            assert len(node.keys) <= MAX_KEYS
+            if node.children:
+                assert len(node.children) <= MAX_CHILDREN
+                for child in node.children:
+                    check(child)
+
+        check(tree.root)
+
+    def test_rebuild_releases_old_extent(self):
+        frames, table, tree = build_system(64)
+        free_before = frames.free_frames()
+        table.insert(1, 0x7000_0000_0000, PAGE, 0x100_0000)
+        tree.build(table)
+        # Old extent freed, new allocated: free count within one page.
+        assert abs(frames.free_frames() - free_before) <= 1
+
+    def test_ensure_current_rebuilds_once(self):
+        frames, table, tree = build_system(10)
+        assert not tree.ensure_current(table)
+        table.insert(1, 0x7000_0000_0000, PAGE, 0)
+        assert tree.ensure_current(table)
+        assert not tree.ensure_current(table)
+
+
+class TestLookup:
+    def test_lookup_matches_linear_search(self):
+        _f, table, tree = build_system(300)
+        for seg in table.segments_sorted()[::7]:
+            for probe in (seg.vbase, seg.vbase + seg.length // 2,
+                          seg.vbase + seg.length - 1):
+                result = tree.lookup(seg.asid, probe)
+                assert result.seg_id == seg.seg_id
+
+    def test_lookup_in_gap_returns_predecessor(self):
+        _f, table, tree = build_system(10)
+        segs = table.segments_sorted()
+        gap_va = segs[0].vbase + segs[0].length  # just past segment 0
+        result = tree.lookup(1, gap_va)
+        # Candidate is the predecessor; containment check (caller's job)
+        # will reject it.
+        assert result.seg_id == segs[0].seg_id
+        assert not table.get(result.seg_id).contains(gap_va)
+
+    def test_lookup_before_first_segment(self):
+        _f, _t, tree = build_system(10)
+        assert tree.lookup(1, 0x10).seg_id is None
+
+    def test_path_length_equals_depth(self):
+        _f, table, tree = build_system(2048)
+        seg = table.segments_sorted()[1234]
+        result = tree.lookup(1, seg.vbase + 5)
+        assert len(result.node_addresses) == tree.depth
+        assert result.node_addresses[0] == tree.root.pa
+
+    def test_multi_asid_lookup(self):
+        frames = FrameAllocator(256 * MB)
+        table = OsSegmentTable()
+        a = table.insert(1, 0x1000_0000, PAGE, 0)
+        b = table.insert(2, 0x1000_0000, PAGE, PAGE)
+        tree = IndexTree(frames)
+        tree.build(table)
+        assert tree.lookup(1, 0x1000_0000).seg_id == a.seg_id
+        assert tree.lookup(2, 0x1000_0000).seg_id == b.seg_id
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=400),
+           st.integers(min_value=0, max_value=10 ** 9))
+    def test_lookup_correctness_property(self, n_segments, probe_seed):
+        """Tree lookup + containment == authoritative table.find."""
+        _f, table, tree = build_system(n_segments)
+        rng = make_rng(probe_seed)
+        segs = table.segments_sorted()
+        for _ in range(20):
+            seg = segs[rng.randrange(len(segs))]
+            va = seg.vbase + rng.randrange(seg.length)
+            assert tree.lookup(1, va).seg_id == seg.seg_id
+
+
+class TestPackKey:
+    def test_asid_dominates(self):
+        assert pack_key(2, 0) > pack_key(1, 0xFFFF_FFFF_FFFF)
+
+    def test_ordering_within_asid(self):
+        assert pack_key(1, 0x2000) > pack_key(1, 0x1000)
+
+
+class TestFillFactorValidation:
+    def test_invalid_fill_factors_rejected(self):
+        frames = FrameAllocator(16 * MB)
+        with pytest.raises(ValueError):
+            IndexTree(frames, leaf_fill=0)
+        with pytest.raises(ValueError):
+            IndexTree(frames, leaf_fill=7)
+        with pytest.raises(ValueError):
+            IndexTree(frames, internal_fill=1)
+        with pytest.raises(ValueError):
+            IndexTree(frames, internal_fill=8)

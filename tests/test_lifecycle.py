@@ -1,0 +1,94 @@
+"""Tests for process teardown, ASID recycling, and resource conservation."""
+
+import pytest
+
+from repro.common.address import PAGE_SIZE
+from repro.common.params import SystemConfig
+from repro.core import HybridMmu
+from repro.osmodel import Kernel
+
+MB = 1024 * 1024
+
+
+class TestDestroyProcess:
+    def test_frames_fully_reclaimed(self):
+        kernel = Kernel(SystemConfig())
+        before = kernel.frames.free_frames()
+        p = kernel.create_process("p")
+        for policy in ("eager", "demand"):
+            vma = kernel.mmap(p, 1 * MB, policy=policy)
+            for offset in range(0, vma.length, 4 * PAGE_SIZE):
+                kernel.translate(p.asid, vma.vbase + offset)
+        kernel.destroy_process(p)
+        assert kernel.frames.free_frames() == before
+
+    def test_segments_removed(self):
+        kernel = Kernel(SystemConfig())
+        p = kernel.create_process("p")
+        kernel.mmap(p, 2 * MB, policy="eager")
+        assert kernel.segment_table.live_count() >= 1
+        kernel.destroy_process(p)
+        assert kernel.segment_table.live_count() == 0
+
+    def test_process_unregistered(self):
+        kernel = Kernel(SystemConfig())
+        p = kernel.create_process("p")
+        kernel.destroy_process(p)
+        with pytest.raises(KeyError):
+            kernel.process(p.asid)
+
+    def test_caches_hold_no_stale_data_after_recycle(self):
+        """An ASID reused for a new process must not see the old
+        process's cached lines."""
+        config = SystemConfig()
+        kernel = Kernel(config)
+        mmu = HybridMmu(kernel, config, delayed="tlb")
+        p = kernel.create_process("p")
+        vma = kernel.mmap(p, 8 * PAGE_SIZE, policy="demand")
+        old_pa = mmu.access(0, p.asid, vma.vbase, True).translated_pa
+        old_asid = p.asid
+        kernel.destroy_process(p)
+
+        q = kernel.create_process("q")
+        assert q.asid == old_asid  # recycled
+        vma_q = kernel.mmap(q, 8 * PAGE_SIZE, policy="demand")
+        out = mmu.access(0, q.asid, vma_q.vbase, False)
+        assert out.translated_pa == kernel.translate(q.asid, vma_q.vbase).pa
+        # The old mapping's lines were flushed during teardown, so even
+        # at identical VAs the new process misses and refetches.
+        from repro.common.address import virtual_block_key
+        stale_key = virtual_block_key(old_asid, vma.vbase)
+        line = mmu.caches.probe_line(0, stale_key)
+        if vma.vbase != vma_q.vbase:
+            assert line is None
+
+
+class TestAsidAllocation:
+    def test_fifo_recycling(self):
+        kernel = Kernel(SystemConfig())
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        asid_a, asid_b = a.asid, b.asid
+        kernel.destroy_process(a)
+        kernel.destroy_process(b)
+        assert kernel.create_process("c").asid == asid_a
+        assert kernel.create_process("d").asid == asid_b
+        assert kernel.stats["asids_recycled"] == 2
+
+    def test_exhaustion_detected(self):
+        kernel = Kernel(SystemConfig())
+        kernel._next_asid = 0xFFFF
+        kernel.create_process("last")  # uses 0xFFFF
+        with pytest.raises(RuntimeError, match="ASID space exhausted"):
+            kernel.create_process("one-too-many")
+
+    def test_shared_backing_survives_one_participant_exit(self):
+        kernel = Kernel(SystemConfig())
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        vmas = kernel.mmap_shared([a, b], 4 * PAGE_SIZE)
+        va_b = vmas[b.asid].vbase
+        expected = kernel.translate(b.asid, va_b).pa
+        kernel.destroy_process(a)
+        # b still reads the shared region at the same physical address.
+        assert kernel.translate(b.asid, va_b).pa == expected

@@ -1,0 +1,112 @@
+"""Tests for the 4-level radix page table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.address import PAGE_SIZE, VA_MASK
+from repro.osmodel import FrameAllocator, PageFault, PageTable
+from repro.osmodel.pagetable import PERM_READ, PERM_RW
+
+MB = 1024 * 1024
+
+
+@pytest.fixture()
+def table():
+    return PageTable(FrameAllocator(64 * MB))
+
+
+class TestMapping:
+    def test_map_translate(self, table):
+        table.map(0x1234_5000, pfn=42)
+        assert table.translate(0x1234_5678) == (42 << 12) | 0x678
+
+    def test_unmapped_raises(self, table):
+        with pytest.raises(PageFault):
+            table.translate(0xDEAD_0000)
+
+    def test_unmap(self, table):
+        table.map(0x4000, 7)
+        entry = table.unmap(0x4000)
+        assert entry.pfn == 7
+        assert not table.is_mapped(0x4000)
+        assert table.unmap(0x4000) is None
+
+    def test_remap_overwrites(self, table):
+        table.map(0x4000, 7)
+        table.map(0x4000, 9)
+        assert table.translate(0x4000) >> 12 == 9
+        assert table.mapped_pages == 1
+
+    def test_mapped_pages_counter(self, table):
+        for i in range(5):
+            table.map(i * PAGE_SIZE, i)
+        assert table.mapped_pages == 5
+        table.unmap(0)
+        assert table.mapped_pages == 4
+
+    def test_permissions_and_shared_bit(self, table):
+        table.map(0x8000, 1, permissions=PERM_READ, shared=True)
+        entry = table.entry(0x8000)
+        assert entry.permissions == PERM_READ
+        assert entry.shared
+        table.set_permissions(0x8000, PERM_RW)
+        table.set_shared(0x8000, False)
+        entry = table.entry(0x8000)
+        assert entry.permissions == PERM_RW
+        assert not entry.shared
+
+    def test_distant_addresses_no_interference(self, table):
+        table.map(0x0000_0000_1000, 1)
+        table.map(0x7FFF_FFFF_F000, 2)
+        assert table.translate(0x1000) >> 12 == 1
+        assert table.translate(0x7FFF_FFFF_F000) >> 12 == 2
+
+    @settings(max_examples=25)
+    @given(st.dictionaries(
+        st.integers(min_value=0, max_value=VA_MASK >> 12),
+        st.integers(min_value=0, max_value=2 ** 20),
+        min_size=1, max_size=50))
+    def test_translate_matches_mapping_property(self, mapping):
+        table = PageTable(FrameAllocator(64 * MB))
+        for vpn, pfn in mapping.items():
+            table.map(vpn << 12, pfn)
+        for vpn, pfn in mapping.items():
+            assert table.translate(vpn << 12) == pfn << 12
+
+
+class TestWalkPath:
+    def test_full_path_has_four_levels(self, table):
+        table.map(0x1234_5000, 1)
+        path = table.walk_path(0x1234_5000)
+        assert len(path) == 4
+        assert len(set(path)) == 4  # distinct PTE addresses
+
+    def test_path_stable_for_same_page(self, table):
+        table.map(0x6000, 1)
+        assert table.walk_path(0x6000) == table.walk_path(0x6FFF)
+
+    def test_same_region_shares_upper_levels(self, table):
+        table.map(0x10_0000, 1)
+        table.map(0x10_1000, 2)
+        a = table.walk_path(0x10_0000)
+        b = table.walk_path(0x10_1000)
+        assert a[:3] == b[:3]
+        assert a[3] != b[3]
+
+    def test_unmapped_path_truncated(self, table):
+        path = table.walk_path(0x7F00_0000_0000)
+        assert 1 <= len(path) <= 4
+
+    def test_pte_addresses_are_within_node_frames(self, table):
+        table.map(0x9000, 3)
+        for pte_pa in table.walk_path(0x9000):
+            assert pte_pa % 8 == 0
+
+
+class TestIteration:
+    def test_iter_mappings(self, table):
+        expected = {0x1000: 1, 0x2000: 2, 0x7F00_0000_0000: 3}
+        for va, pfn in expected.items():
+            table.map(va, pfn)
+        found = {va: e.pfn for va, e in table.iter_mappings()}
+        assert found == expected

@@ -1,0 +1,191 @@
+"""Cross-subsystem property-based tests (hypothesis).
+
+These exercise the invariants the paper's correctness argument rests on:
+
+* single name per physical block (synonym coherence),
+* inclusion in the cache hierarchy,
+* functional equivalence of every translation path,
+* no-false-negative synonym detection under arbitrary OS behaviour.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.address import PAGE_SIZE, VA_MASK
+from repro.common.params import CacheConfig, SystemConfig
+from repro.common.rng import make_rng
+from repro.core import ConventionalMmu, HybridMmu
+from repro.osmodel import FrameAllocator, IndexTree, Kernel, OsSegmentTable
+from repro.cache.hierarchy import CacheHierarchy
+
+MB = 1024 * 1024
+
+
+def tiny_config(cores=2):
+    return dataclasses.replace(
+        SystemConfig(),
+        cores=cores,
+        l1=CacheConfig(512, 2, 2),
+        l2=CacheConfig(2048, 4, 6),
+        llc=CacheConfig(8192, 8, 27),
+    )
+
+
+class TestInclusionInvariant:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 1),        # core
+                              st.integers(0, 400),      # block id
+                              st.booleans()),            # write
+                    min_size=1, max_size=300))
+    def test_private_copies_always_in_llc(self, accesses):
+        """Inclusive hierarchy: every L1/L2-resident block is LLC-resident."""
+        h = CacheHierarchy(tiny_config())
+        for core, block, is_write in accesses:
+            h.access(core, block << 1, is_write)
+        for core in range(2):
+            for level in (h.l1[core], h.l2[core]):
+                for key in level.resident_keys():
+                    assert h.llc.probe(key) is not None
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 200),
+                              st.booleans()),
+                    min_size=1, max_size=200))
+    def test_no_block_dirty_in_two_private_caches(self, accesses):
+        """Single-writer: a modified block lives in at most one core's L1."""
+        h = CacheHierarchy(tiny_config())
+        for core, block, is_write in accesses:
+            h.access(core, block, is_write)
+        from repro.cache.line import STATE_MODIFIED
+        for key in set(h.l1[0].resident_keys()) & set(h.l1[1].resident_keys()):
+            states = [h.l1[c].probe(key).state for c in range(2)]
+            assert states.count(STATE_MODIFIED) <= 1, key
+
+
+class TestTranslationEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2 ** 31), st.integers(2, 6))
+    def test_hybrid_and_baseline_agree_under_random_ops(self, seed, regions):
+        """Interleaved mmaps + accesses: all MMUs yield identical PAs."""
+        rng = make_rng(seed)
+        layout = [(rng.choice(["eager", "demand"]),
+                   rng.randrange(1, 8) * 64 * 1024) for _ in range(regions)]
+        probes = [rng.random() for _ in range(40)]
+
+        def run(mmu_cls, **kw):
+            config = dataclasses.replace(SystemConfig(), cores=1)
+            kernel = Kernel(config)
+            p = kernel.create_process("p")
+            vmas = [kernel.mmap(p, size, policy=policy)
+                    for policy, size in layout]
+            mmu = mmu_cls(kernel, config, **kw)
+            pas = []
+            truth = []
+            for i, frac in enumerate(probes):
+                vma = vmas[i % len(vmas)]
+                va = vma.vbase + int(frac * (vma.length - 8))
+                pas.append(mmu.access(0, p.asid, va, i % 3 == 0).translated_pa)
+                truth.append(kernel.translate(p.asid, va).pa)
+            # Every MMU must agree with its own kernel's functional
+            # translation at every step.  (Raw PAs can differ *between*
+            # kernels: the segments engine allocates index-tree frames
+            # mid-run, shifting later demand allocations.)
+            assert pas == truth
+            return pas
+
+        base = run(ConventionalMmu)
+        # The delayed-TLB hybrid allocates nothing extra, so its physical
+        # layout — and hence its PA sequence — matches the baseline's.
+        assert run(HybridMmu, delayed="tlb") == base
+        run(HybridMmu, delayed="segments")
+
+
+class TestSynonymSingleName:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2 ** 31))
+    def test_synonym_accesses_share_physical_name(self, seed):
+        config = dataclasses.replace(SystemConfig(), cores=2)
+        kernel = Kernel(config)
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        kernel.mmap(a, MB, policy="eager")
+        kernel.mmap(b, MB, policy="eager")
+        vmas = kernel.mmap_shared([a, b], 16 * PAGE_SIZE)
+        mmu = HybridMmu(kernel, config, delayed="tlb")
+        rng = make_rng(seed)
+        for _ in range(60):
+            offset = rng.randrange(0, 16 * PAGE_SIZE) & ~7
+            pa_a = mmu.access(0, a.asid, vmas[a.asid].vbase + offset,
+                              rng.random() < 0.5).translated_pa
+            pa_b = mmu.access(1, b.asid, vmas[b.asid].vbase + offset,
+                              rng.random() < 0.5).translated_pa
+            assert pa_a == pa_b
+        # And no ASID+VA copies of shared blocks exist anywhere.
+        from repro.common.address import virtual_block_key
+        for proc, vma in ((a, vmas[a.asid]), (b, vmas[b.asid])):
+            for off in range(0, 16 * PAGE_SIZE, 64):
+                key = virtual_block_key(proc.asid, vma.vbase + off)
+                assert mmu.caches.probe_line(0, key) is None
+                assert mmu.caches.probe_line(1, key) is None
+
+
+class TestFilterSoundnessUnderOsChurn:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2 ** 31), st.integers(1, 30))
+    def test_no_false_negatives_after_share_unshare_rebuild(self, seed, n):
+        """Arbitrary share/rebuild sequences never lose a live synonym."""
+        kernel = Kernel(SystemConfig())
+        a = kernel.create_process("a")
+        b = kernel.create_process("b")
+        rng = make_rng(seed)
+        live_shared = []
+        for _ in range(n):
+            action = rng.random()
+            if action < 0.6 or not live_shared:
+                vmas = kernel.mmap_shared([a, b], PAGE_SIZE * rng.randrange(1, 4))
+                live_shared.append(vmas[a.asid])
+            else:
+                a.rebuild_filter()
+            for vma in live_shared:
+                for off in range(0, vma.length, PAGE_SIZE):
+                    assert a.synonym_filter.is_synonym_candidate(
+                        vma.vbase + off)
+
+
+class TestIndexTreeEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2 ** 31), st.integers(1, 120))
+    def test_tree_matches_table_for_random_layouts(self, seed, n_segments):
+        rng = make_rng(seed)
+        frames = FrameAllocator(512 * MB)
+        table = OsSegmentTable(capacity=4096)
+        va = 0x1000_0000
+        for i in range(n_segments):
+            asid = 1 + (i % 3)
+            length = PAGE_SIZE * rng.randrange(1, 64)
+            table.insert(asid, va, length, rng.randrange(0, 1 << 30) & ~0xFFF)
+            va += length + PAGE_SIZE * rng.randrange(1, 8)
+        tree = IndexTree(frames)
+        tree.build(table)
+        for seg in table.segments_sorted():
+            probe = seg.vbase + rng.randrange(0, seg.length)
+            assert tree.lookup(seg.asid, probe).seg_id == seg.seg_id
+
+
+class TestFrameConservationUnderKernelChurn:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2 ** 31), st.integers(1, 15))
+    def test_mmap_munmap_cycles_conserve_frames(self, seed, rounds):
+        kernel = Kernel(SystemConfig())
+        p = kernel.create_process("p")
+        rng = make_rng(seed)
+        for _ in range(rounds):
+            policy = rng.choice(["eager", "demand"])
+            vma = kernel.mmap(p, PAGE_SIZE * rng.randrange(1, 64),
+                              policy=policy)
+            for off in range(0, vma.length, PAGE_SIZE * 2):
+                kernel.translate(p.asid, vma.vbase + off)
+            kernel.munmap(p, vma)
+        total = kernel.frames.total_frames
+        assert kernel.frames.free_frames() + kernel.frames.allocated_frames() == total

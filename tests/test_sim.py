@@ -1,0 +1,119 @@
+"""Tests for the simulation drivers and result containers."""
+
+import pytest
+
+from repro.common.params import SystemConfig
+from repro.sim import (
+    MMU_CONFIGS,
+    Simulator,
+    build_mmu,
+    compare_configs,
+    geometric_mean,
+    lay_out,
+    run_workload,
+    sweep_delayed_tlb,
+)
+from repro.sim.results import SimulationResult
+from repro.osmodel import Kernel
+
+SMALL = dict(accesses=2000, warmup=500)
+
+
+class TestBuilders:
+    def test_all_configs_constructible(self):
+        for name in MMU_CONFIGS:
+            kernel = Kernel(SystemConfig())
+            mmu = build_mmu(name, kernel)
+            assert mmu is not None
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            build_mmu("nope", Kernel(SystemConfig()))
+
+    def test_lay_out_by_name_and_spec(self):
+        from repro.workloads import spec
+        kernel = Kernel(SystemConfig())
+        w1 = lay_out("stream", kernel)
+        assert w1.spec.name == "stream"
+        kernel2 = Kernel(SystemConfig())
+        w2 = lay_out(spec("stream"), kernel2)
+        assert w2.spec.name == "stream"
+
+
+class TestRunWorkload:
+    def test_result_fields_populated(self):
+        result = run_workload("stream", "baseline", **SMALL)
+        assert result.workload == "stream"
+        assert result.mmu == "baseline"
+        assert result.accesses == 2000
+        assert result.instructions == 2000 * (1 + 1)  # mem_ratio 0.4 -> gap 1
+        assert result.cycles > 0
+        assert 0 < result.ipc < 4
+        assert result.stats  # snapshot present
+
+    def test_deterministic_across_runs(self):
+        a = run_workload("omnetpp", "hybrid_tlb", **SMALL, seed=3)
+        b = run_workload("omnetpp", "hybrid_tlb", **SMALL, seed=3)
+        assert a.cycles == b.cycles
+        assert a.stats == b.stats
+
+    def test_warmup_excluded_from_timing(self):
+        result = run_workload("stream", "ideal", accesses=1000, warmup=500)
+        assert result.accesses == 1000
+
+
+class TestCompareConfigs:
+    def test_normalized_baseline_is_one(self):
+        row = compare_configs("stream", mmu_names=("baseline", "ideal"),
+                              **SMALL)
+        normalized = row.normalized()
+        assert normalized["baseline"] == pytest.approx(1.0)
+        assert normalized["ideal"] >= 1.0
+
+    def test_hybrid_never_slower_than_baseline_much(self):
+        row = compare_configs("omnetpp",
+                              mmu_names=("baseline", "hybrid_segments"),
+                              **SMALL)
+        assert row.normalized()["hybrid_segments"] > 0.9
+
+
+class TestSweep:
+    def test_delayed_tlb_sweep_monotone_misses(self):
+        results = sweep_delayed_tlb("omnetpp", (512, 4096), **SMALL)
+        assert len(results) == 2
+        small_misses = results[0].counter("delayed_tlb", "misses")
+        large_misses = results[1].counter("delayed_tlb", "misses")
+        assert large_misses <= small_misses
+
+
+class TestResults:
+    def test_llc_miss_rate(self):
+        result = run_workload("gups", "baseline", **SMALL)
+        assert 0 < result.llc_miss_rate() <= 1
+
+    def test_speedup_over(self):
+        a = SimulationResult("w", "m", 1, 1, 100.0, 2.0, {})
+        b = SimulationResult("w", "m", 1, 1, 100.0, 1.0, {})
+        assert a.speedup_over(b) == 2.0
+        zero = SimulationResult("w", "m", 1, 1, 0.0, 0.0, {})
+        assert a.speedup_over(zero) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, 2.0]) == pytest.approx(2.0)
+
+    def test_tlb_mpki(self):
+        result = run_workload("gups", "hybrid_tlb", **SMALL)
+        assert result.tlb_mpki("delayed_tlb") > 0
+
+
+class TestSimulatorDirect:
+    def test_custom_timing_model(self):
+        from repro.timing import TimingModel
+        kernel = Kernel(SystemConfig())
+        w = lay_out("stream", kernel)
+        mmu = build_mmu("ideal", kernel)
+        timing = TimingModel(mlp=8.0)
+        result = Simulator(mmu, timing).run(w, accesses=500)
+        assert result.ipc > 0

@@ -1,0 +1,97 @@
+"""Unit tests for the counter framework."""
+
+from repro.common.stats import StatGroup, StatRegistry, format_table, mpki
+
+
+class TestStatGroup:
+    def test_add_and_get(self):
+        g = StatGroup("g")
+        g.add("hits")
+        g.add("hits", 4)
+        assert g["hits"] == 5
+
+    def test_missing_counter_is_zero(self):
+        assert StatGroup("g")["nothing"] == 0
+
+    def test_ratio(self):
+        g = StatGroup("g")
+        g.add("a", 3)
+        g.add("b", 4)
+        assert g.ratio("a", "b") == 0.75
+
+    def test_ratio_zero_denominator(self):
+        assert StatGroup("g").ratio("a", "b") == 0.0
+
+    def test_hit_rate(self):
+        g = StatGroup("g")
+        g.add("hits", 9)
+        g.add("misses", 1)
+        assert g.hit_rate() == 0.9
+
+    def test_hit_rate_empty(self):
+        assert StatGroup("g").hit_rate() == 0.0
+
+    def test_reset(self):
+        g = StatGroup("g")
+        g.add("x", 10)
+        g.reset()
+        assert g["x"] == 0
+
+    def test_snapshot_is_copy(self):
+        g = StatGroup("g")
+        g.add("x")
+        snap = g.snapshot()
+        g.add("x")
+        assert snap["x"] == 1
+
+    def test_merge(self):
+        a, b = StatGroup("a"), StatGroup("b")
+        a.add("x", 2)
+        b.add("x", 3)
+        b.add("y", 1)
+        a.merge(b)
+        assert a["x"] == 5
+        assert a["y"] == 1
+
+    def test_contains_and_iter(self):
+        g = StatGroup("g")
+        g.add("x")
+        assert "x" in g
+        assert list(g) == ["x"]
+
+
+class TestStatRegistry:
+    def test_group_created_on_demand(self):
+        r = StatRegistry()
+        g = r.group("alpha")
+        assert r.group("alpha") is g
+
+    def test_register_external_group(self):
+        r = StatRegistry()
+        g = StatGroup("ext")
+        r.register(g)
+        assert r["ext"] is g
+        assert "ext" in r
+
+    def test_snapshot_nested(self):
+        r = StatRegistry()
+        r.group("a").add("x", 2)
+        assert r.snapshot() == {"a": {"x": 2}}
+
+    def test_reset_all(self):
+        r = StatRegistry()
+        r.group("a").add("x", 2)
+        r.reset()
+        assert r["a"]["x"] == 0
+
+
+class TestHelpers:
+    def test_mpki(self):
+        assert mpki(5, 1000) == 5.0
+        assert mpki(5, 0) == 0.0
+
+    def test_format_table_aligns(self):
+        out = format_table({"a": "Name", "b": "Val"}, [["x", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("Name")
+        assert len(lines) == 4

@@ -1,0 +1,150 @@
+"""Tests for the DRAM model, cycle accounting, and energy accounting."""
+
+import pytest
+
+from repro.common.params import CoreConfig, DramConfig
+from repro.core.mmu_base import AccessOutcome
+from repro.energy import EnergyModel, EnergyParams
+from repro.timing import DramModel, TimingModel
+
+
+class TestDramModel:
+    def test_row_hit_cheaper_than_miss(self):
+        dram = DramModel(DramConfig())
+        first = dram.access(0x1000, False)
+        second = dram.access(0x1040, False)  # same row
+        assert second < first
+
+    def test_row_conflict(self):
+        config = DramConfig(banks=2, channels=1)
+        dram = DramModel(config)
+        dram.access(0x0, False)
+        # An address whose row maps to the same bank but differs in row id.
+        conflict_pa = config.row_bytes * 2 * 2  # row 4 -> bank 0
+        cost = dram.access(conflict_pa, False)
+        assert cost == config.row_miss_cycles + config.queue_penalty_cycles
+
+    def test_streaming_row_hit_rate_high(self):
+        dram = DramModel(DramConfig())
+        for pa in range(0, 64 * 1024, 64):
+            dram.access(pa, False)
+        assert dram.row_hit_rate() > 0.9
+
+    def test_stats(self):
+        dram = DramModel(DramConfig())
+        dram.access(0, True)
+        assert dram.stats["accesses"] == 1
+        assert dram.stats["writes"] == 1
+
+    def test_reset_rows(self):
+        dram = DramModel(DramConfig())
+        dram.access(0, False)
+        dram.reset_rows()
+        cost = dram.access(0, False)
+        assert cost == DramConfig().row_miss_cycles + DramConfig().queue_penalty_cycles
+
+
+def outcome(front=0, cache=4, delayed=0, dram=0, level="l1"):
+    return AccessOutcome(front, cache, delayed, dram, level)
+
+
+class TestTimingModel:
+    def test_l1_hits_fully_pipelined(self):
+        t = TimingModel(CoreConfig(base_cpi=0.5), mlp=1.0)
+        for _ in range(100):
+            t.record(outcome(), instructions_between=2)
+        assert t.total_cycles() == pytest.approx(200 * 0.5)
+        assert t.ipc() == pytest.approx(2.0)
+
+    def test_front_stalls_not_discounted(self):
+        t = TimingModel(CoreConfig(base_cpi=0.5), mlp=4.0)
+        t.record(outcome(front=100))
+        assert t.total_cycles() == pytest.approx(0.5 + 100)
+
+    def test_miss_stalls_discounted_by_mlp(self):
+        t1 = TimingModel(CoreConfig(base_cpi=0.5), mlp=1.0)
+        t4 = TimingModel(CoreConfig(base_cpi=0.5), mlp=4.0)
+        for t in (t1, t4):
+            t.record(outcome(cache=37, dram=100, level="memory"))
+        stall1 = t1.total_cycles() - 0.5
+        stall4 = t4.total_cycles() - 0.5
+        assert stall1 == pytest.approx(4 * stall4)
+
+    def test_invalid_mlp(self):
+        with pytest.raises(ValueError):
+            TimingModel(mlp=0.5)
+
+    def test_breakdown_sums_to_total(self):
+        t = TimingModel(CoreConfig(base_cpi=0.4), mlp=2.0)
+        t.record(outcome(front=10, cache=37, delayed=20, dram=150,
+                         level="memory"), instructions_between=3)
+        t.record_compute(7)
+        parts = t.breakdown()
+        assert sum(parts.values()) == pytest.approx(t.total_cycles())
+
+    def test_accounting_merge(self):
+        a = TimingModel()
+        b = TimingModel()
+        a.record(outcome(dram=100, level="memory"))
+        b.record(outcome(dram=50, level="memory"))
+        a.acct.merge(b.acct)
+        assert a.acct.dram_stall_cycles == 150
+        assert a.acct.instructions == 2
+
+
+class TestEnergyModel:
+    def test_baseline_counts_tlb_probes(self):
+        model = EnergyModel(EnergyParams(l1_tlb_pj=1.0, l2_tlb_pj=5.0,
+                                         pte_read_pj=10.0))
+        stats = {
+            "tlb_core0_l1": {"lookups": 100},
+            "tlb_core0_l2": {"lookups": 20},
+            "page_walker": {"pte_reads": 4},
+        }
+        breakdown = model.baseline_translation_energy(stats)
+        assert breakdown["l1_tlb"] == 100.0
+        assert breakdown["l2_tlb"] == 100.0
+        assert breakdown["page_walks"] == 40.0
+
+    def test_hybrid_counts_filter_and_delayed(self):
+        model = EnergyModel()
+        stats = {
+            "hybrid": {"accesses": 1000},
+            "synonym_tlb": {"lookups": 10},
+            "delayed_tlb": {"lookups": 50},
+        }
+        breakdown = model.hybrid_translation_energy(stats)
+        p = EnergyParams()
+        assert breakdown["synonym_filter"] == pytest.approx(1000 * p.synonym_filter_pj)
+        assert breakdown["synonym_tlb"] == pytest.approx(10 * p.synonym_tlb_pj)
+        assert breakdown["delayed_tlb"] == pytest.approx(50 * p.delayed_tlb_pj)
+
+    def test_reduction(self):
+        model = EnergyModel()
+        assert model.reduction({"a": 100.0}, {"b": 40.0}) == pytest.approx(0.6)
+        assert model.reduction({}, {"b": 1.0}) == 0.0
+
+    def test_tag_extension_overhead_small(self):
+        model = EnergyModel()
+        stats = {"l1_core0": {"lookups": 1000}, "llc": {"lookups": 100}}
+        extra = model.tag_extension_energy(stats)
+        full = 1000 * EnergyParams().l1_cache_pj + 100 * EnergyParams().llc_cache_pj
+        assert extra / full == pytest.approx(EnergyParams().tag_extension_overhead)
+
+    def test_hybrid_cheaper_than_baseline_per_access(self):
+        """The core energy claim at equal access counts, few LLC misses."""
+        model = EnergyModel()
+        n = 10_000
+        base = model.baseline_translation_energy({
+            "tlb_core0_l1": {"lookups": n},
+            "tlb_core0_l2": {"lookups": n // 10},
+            "page_walker": {"pte_reads": n // 50},
+        })
+        hybrid = model.hybrid_translation_energy({
+            "hybrid": {"accesses": n},
+            "synonym_tlb": {"lookups": n // 100},
+            "delayed_tlb": {"lookups": n // 20},
+        })
+        assert model.total(hybrid) < model.total(base)
+        reduction = model.reduction(base, hybrid)
+        assert reduction > 0.4

@@ -1,0 +1,62 @@
+"""Property tests for the timing model's accounting identities."""
+
+from hypothesis import given, strategies as st
+
+from repro.common.params import CoreConfig
+from repro.core.mmu_base import AccessOutcome
+from repro.timing import TimingModel
+
+outcomes = st.builds(
+    AccessOutcome,
+    front_cycles=st.integers(0, 500),
+    cache_cycles=st.integers(0, 100),
+    delayed_cycles=st.integers(0, 100),
+    dram_cycles=st.integers(0, 300),
+    hit_level=st.sampled_from(["l1", "l2", "llc", "memory"]),
+)
+
+
+class TestAccountingIdentities:
+    @given(st.lists(outcomes, min_size=1, max_size=50),
+           st.floats(1.0, 8.0))
+    def test_breakdown_sums_to_total(self, records, mlp):
+        model = TimingModel(CoreConfig(), mlp=mlp)
+        for outcome in records:
+            model.record(outcome, instructions_between=2)
+        assert abs(sum(model.breakdown().values())
+                   - model.total_cycles()) < 1e-6
+
+    @given(st.lists(outcomes, min_size=1, max_size=50))
+    def test_higher_mlp_never_slower(self, records):
+        low = TimingModel(CoreConfig(), mlp=1.0)
+        high = TimingModel(CoreConfig(), mlp=4.0)
+        for outcome in records:
+            low.record(outcome)
+            high.record(outcome)
+        assert high.total_cycles() <= low.total_cycles() + 1e-9
+
+    @given(st.lists(outcomes, min_size=1, max_size=50))
+    def test_total_cycles_monotone_in_work(self, records):
+        model = TimingModel(CoreConfig(), mlp=2.0)
+        previous = 0.0
+        for outcome in records:
+            model.record(outcome)
+            current = model.total_cycles()
+            assert current >= previous
+            previous = current
+
+    @given(outcomes)
+    def test_outcome_total_is_component_sum(self, outcome):
+        assert outcome.total_cycles == (outcome.front_cycles
+                                        + outcome.cache_cycles
+                                        + outcome.delayed_cycles
+                                        + outcome.dram_cycles)
+        assert outcome.llc_miss == (outcome.hit_level == "memory")
+
+    @given(st.lists(outcomes, min_size=1, max_size=30))
+    def test_ipc_cpi_reciprocal(self, records):
+        model = TimingModel(CoreConfig(), mlp=1.5)
+        for outcome in records:
+            model.record(outcome, instructions_between=3)
+        if model.total_cycles() > 0:
+            assert abs(model.ipc() * model.cpi() - 1.0) < 1e-9

@@ -1,0 +1,131 @@
+"""Tests for trace persistence (binary + text formats)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.params import SystemConfig
+from repro.osmodel import Kernel
+from repro.sim import lay_out
+from repro.workloads import tracefile
+from repro.workloads.trace import TraceRecord
+
+records_strategy = st.lists(
+    st.builds(TraceRecord,
+              asid=st.integers(0, 0xFFFF),
+              core=st.integers(0, 255),
+              va=st.integers(0, (1 << 48) - 1),
+              is_write=st.booleans(),
+              gap=st.integers(0, 1000)),
+    max_size=200)
+
+
+def sample_records(n=10):
+    return [TraceRecord(asid=1 + i % 3, core=i % 2, va=0x1000 + 8 * i,
+                        is_write=i % 2 == 0, gap=2) for i in range(n)]
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.trc"
+        original = sample_records()
+        assert tracefile.save_binary(path, original) == len(original)
+        loaded = list(tracefile.load_binary(path))
+        assert loaded == original
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_bytes(b"NOTATRACE!!!")
+        with pytest.raises(tracefile.TraceFormatError):
+            list(tracefile.load_binary(path))
+
+    def test_truncated_record_rejected(self, tmp_path):
+        path = tmp_path / "t.trc"
+        tracefile.save_binary(path, sample_records(3))
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with pytest.raises(tracefile.TraceFormatError):
+            list(tracefile.load_binary(path))
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "t.trc"
+        assert tracefile.save_binary(path, []) == 0
+        assert list(tracefile.load_binary(path)) == []
+
+    @settings(max_examples=25)
+    @given(records_strategy)
+    def test_roundtrip_property(self, records):
+        import os
+        import tempfile
+
+        fd, path = tempfile.mkstemp(suffix=".trc")
+        os.close(fd)
+        try:
+            tracefile.save_binary(path, records)
+            assert list(tracefile.load_binary(path)) == records
+        finally:
+            os.unlink(path)
+
+
+class TestTextFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.csv"
+        original = sample_records()
+        tracefile.save_text(path, original)
+        assert list(tracefile.load_text(path)) == original
+
+    def test_header_required(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("1,0,0x1000,r,2\n")
+        with pytest.raises(tracefile.TraceFormatError):
+            list(tracefile.load_text(path))
+
+    def test_malformed_line_located(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("# repro trace v1: asid,core,va,rw,gap\n"
+                        "1,0,0x1000,r,2\n"
+                        "garbage line\n")
+        with pytest.raises(tracefile.TraceFormatError, match=":3"):
+            list(tracefile.load_text(path))
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("# repro trace v1: asid,core,va,rw,gap\n"
+                        "\n# comment\n1,0,0x1000,w,3\n")
+        loaded = list(tracefile.load_text(path))
+        assert len(loaded) == 1
+        assert loaded[0].is_write and loaded[0].gap == 3
+
+
+class TestDispatch:
+    def test_extension_picks_binary(self, tmp_path):
+        path = tmp_path / "t.trc"
+        tracefile.save(path, sample_records(3))
+        assert path.read_bytes().startswith(tracefile.MAGIC)
+
+    def test_sniffing_load(self, tmp_path):
+        binary = tmp_path / "a.trc"
+        text = tmp_path / "b.csv"
+        records = sample_records(4)
+        tracefile.save(binary, records)
+        tracefile.save(text, records)
+        assert list(tracefile.load(binary)) == records
+        assert list(tracefile.load(text)) == records
+
+
+class TestWorkloadIntegration:
+    def test_recorded_workload_replays_identically(self, tmp_path):
+        """Save a generated trace, replay it through a simulation."""
+        from repro.core import IdealMmu
+        from repro.sim import Simulator
+
+        kernel = Kernel(SystemConfig())
+        workload = lay_out("stream", kernel)
+        path = tmp_path / "stream.trc"
+        tracefile.save(path, workload.trace(500))
+
+        mmu = IdealMmu(kernel, kernel.config)
+        pas = [mmu.access(r.core, r.asid, r.va, r.is_write).translated_pa
+               for r in tracefile.load(path)]
+        assert len(pas) == 500
+        for record, pa in zip(tracefile.load(path), pas):
+            assert kernel.translate(record.asid, record.va).pa == pa
