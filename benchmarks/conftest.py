@@ -9,32 +9,59 @@ wall-clock cost of regenerating every artifact is itself recorded.
 
 from __future__ import annotations
 
+import json
+import pathlib
+import platform
+import time
+
 import pytest
+
+#: Wall-clock of every experiment wrapped by :func:`run_once` this
+#: session, in execution order — the raw material of ``latest.json``.
+_TIMINGS: list[dict] = []
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
-                              iterations=1)
+    start = time.perf_counter()
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                                iterations=1)
+    _TIMINGS.append({
+        "name": getattr(benchmark, "name", None) or fn.__name__,
+        "seconds": time.perf_counter() - start,
+    })
+    return result
 
 
 @pytest.fixture(scope="session")
 def report():
     """Collect printed artifacts so they survive output capture.
 
-    Everything emitted is also written to ``benchmarks/results/latest.txt``
-    at session end, so a plain ``pytest benchmarks/ --benchmark-only`` run
-    leaves the regenerated tables/figures on disk even without ``-s``.
+    Everything emitted is written to ``benchmarks/results/latest.txt`` at
+    session end, and a machine-readable ``latest.json`` — per-benchmark
+    wall-clock plus the artifact lines — lands alongside it so the perf
+    trajectory can be diffed across PRs without parsing ASCII tables.
     """
-    import pathlib
-
     lines: list[str] = []
     yield lines
+    results_dir = pathlib.Path(__file__).parent / "results"
     if lines:
         print("\n".join(lines))
-        results_dir = pathlib.Path(__file__).parent / "results"
         results_dir.mkdir(exist_ok=True)
         (results_dir / "latest.txt").write_text("\n".join(lines) + "\n")
+    if lines or _TIMINGS:
+        results_dir.mkdir(exist_ok=True)
+        doc = {
+            "schema": "repro.bench/v1",
+            "generated_unix": time.time(),
+            "host": platform.node(),
+            "python": platform.python_version(),
+            "benchmarks": list(_TIMINGS),
+            "total_seconds": sum(t["seconds"] for t in _TIMINGS),
+            "artifact_lines": lines,
+        }
+        (results_dir / "latest.json").write_text(json.dumps(doc, indent=2)
+                                                 + "\n")
 
 
 def emit(report, text: str) -> None:

@@ -27,6 +27,8 @@ from repro.cache.setassoc import SetAssociativeCache
 from repro.common.address import BLOCK_SIZE, PAGE_SIZE
 from repro.common.params import SystemConfig
 from repro.common.stats import StatGroup
+from repro.obs.events import STAGE_CACHE
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass(slots=True)
@@ -55,6 +57,8 @@ class CacheHierarchy:
         self.llc.on_eviction(self._back_invalidate)
         # Directory of private-cache copies: block key -> cores holding it.
         self._copies: Dict[int, Set[int]] = {}
+        # Installed by MmuBase.attach_tracer; the null tracer never records.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------ #
     # Coherence plumbing
@@ -99,6 +103,14 @@ class CacheHierarchy:
         Section III-A).  Permission *checking* is the caller's job via the
         returned/probed line, because the fault semantics differ per MMU.
         """
+        result = self._access(core, key, is_write, permissions)
+        if self.tracer.recording:
+            self.tracer.stage(STAGE_CACHE, cycles=result.latency,
+                              hit_level=result.hit_level, write=is_write)
+        return result
+
+    def _access(self, core: int, key: int, is_write: bool,
+                permissions: int) -> CacheAccessResult:
         self.stats.add("accesses")
         latency = 0
         shared_state = STATE_MODIFIED if is_write else STATE_SHARED

@@ -7,8 +7,14 @@ Subcommands:
 * ``run``        — simulate one (workload, configuration) point;
 * ``compare``    — one workload across several configurations;
 * ``sweep``      — delayed-TLB size sweep (Figure 4 style);
+* ``profile``    — per-stage cycle attribution and latency histograms;
 * ``analyze``    — address-stream profile of a workload trace;
 * ``experiments``— map paper artifacts to their benchmark modules.
+
+``run``/``compare``/``sweep``/``profile`` share the observability flags:
+``--json`` (schema-stable document), ``--interval N`` (windowed stat
+time series), ``--trace-out FILE`` (JSONL pipeline events) and
+``--sample-every N`` (trace sampling).  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from typing import List, Optional
 
 from repro.common.params import SystemConfig
 from repro.common.stats import mpki
+from repro.obs.tracer import Tracer
 from repro.sim import (
     MMU_CONFIGS,
     PRIOR_CONFIGS,
@@ -26,7 +33,14 @@ from repro.sim import (
     run_workload,
     sweep_delayed_tlb,
 )
-from repro.sim.report import horizontal_bars, markdown_table, series_table
+from repro.sim.report import (
+    breakdown_chart,
+    cycle_attribution,
+    histogram_chart,
+    horizontal_bars,
+    markdown_table,
+    series_table,
+)
 from repro.workloads import all_specs, analyze as analyze_trace, names, spec
 
 EXPERIMENTS = (
@@ -62,6 +76,35 @@ def _system_config(args) -> SystemConfig:
     return config
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _make_tracer(args) -> Optional[Tracer]:
+    """Build a tracer when ``--trace-out`` was given, else None."""
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        return None
+    try:
+        return Tracer(sample_every=getattr(args, "sample_every", 1) or 1,
+                      sink=trace_out)
+    except OSError as exc:
+        raise SystemExit(f"repro: cannot open trace sink {trace_out!r}: {exc}")
+
+
+def _json_interval(args) -> Optional[int]:
+    """Interval for machine-readable output: explicit flag, or a tenth
+    of the timed window so ``--json`` documents always carry a series."""
+    if getattr(args, "interval", None):
+        return args.interval
+    if getattr(args, "json", False):
+        return max(1, args.accesses // 10)
+    return None
+
+
 def cmd_workloads(_args) -> None:
     rows = []
     for s in all_specs():
@@ -94,21 +137,19 @@ def cmd_configs(_args) -> None:
 
 
 def cmd_run(args) -> None:
-    result = run_workload(args.workload, args.config,
-                          accesses=args.accesses, warmup=args.warmup,
-                          config=_system_config(args), seed=args.seed)
+    tracer = _make_tracer(args)
+    try:
+        result = run_workload(args.workload, args.config,
+                              accesses=args.accesses, warmup=args.warmup,
+                              config=_system_config(args), seed=args.seed,
+                              interval=_json_interval(args), tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
     if args.json:
-        print(json.dumps({
-            "workload": result.workload,
-            "config": args.config,
-            "instructions": result.instructions,
-            "accesses": result.accesses,
-            "cycles": result.cycles,
-            "ipc": result.ipc,
-            "llc_miss_rate": result.llc_miss_rate(),
-            "cycle_breakdown": result.cycle_breakdown,
-            "stats": result.stats,
-        }, indent=2))
+        doc = result.to_json_dict()
+        doc["config"] = args.config
+        print(json.dumps(doc, indent=2))
         return
     print(f"workload={result.workload} config={result.mmu}")
     print(f"instructions={result.instructions} accesses={result.accesses}")
@@ -126,14 +167,24 @@ def cmd_run(args) -> None:
 
 def cmd_compare(args) -> None:
     configs = args.configs.split(",") if args.configs else list(MMU_CONFIGS)
-    row = compare_configs(args.workload, mmu_names=configs,
-                          accesses=args.accesses, warmup=args.warmup,
-                          config=_system_config(args), seed=args.seed)
+    tracer = _make_tracer(args)
+    try:
+        row = compare_configs(args.workload, mmu_names=configs,
+                              accesses=args.accesses, warmup=args.warmup,
+                              config=_system_config(args), seed=args.seed,
+                              interval=_json_interval(args), tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
     normalized = row.normalized(configs[0])
     if args.json:
-        print(json.dumps({"workload": args.workload,
+        print(json.dumps({"schema": "repro.compare/v1",
+                          "workload": args.workload,
                           "normalized_to": configs[0],
-                          "speedups": normalized}, indent=2))
+                          "speedups": normalized,
+                          "results": {name: r.to_json_dict()
+                                      for name, r in row.results.items()}},
+                         indent=2))
         return
     print(f"{args.workload}: performance normalized to {configs[0]}")
     print(horizontal_bars(normalized, reference=1.0))
@@ -141,12 +192,76 @@ def cmd_compare(args) -> None:
 
 def cmd_sweep(args) -> None:
     sizes = [int(s) for s in args.sizes.split(",")]
-    results = sweep_delayed_tlb(args.workload, sizes,
-                                accesses=args.accesses, warmup=args.warmup,
-                                seed=args.seed)
-    series = {args.workload: [r.tlb_mpki() for r in results]}
+    tracer = _make_tracer(args)
+    try:
+        results = sweep_delayed_tlb(args.workload, sizes,
+                                    accesses=args.accesses, warmup=args.warmup,
+                                    seed=args.seed,
+                                    interval=_json_interval(args),
+                                    tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    mpkis = [r.tlb_mpki() for r in results]
+    if args.json:
+        print(json.dumps({"schema": "repro.sweep/v1",
+                          "workload": args.workload,
+                          "sizes": sizes,
+                          "delayed_tlb_mpki": mpkis,
+                          "results": [r.to_json_dict() for r in results]},
+                         indent=2))
+        return
+    series = {args.workload: mpkis}
     print("delayed-TLB MPKI by entry count")
     print(series_table(series, [str(s) for s in sizes]))
+
+
+def cmd_profile(args) -> None:
+    """Per-stage cycle attribution + latency histograms for one point."""
+    tracer = _make_tracer(args)
+    try:
+        result = run_workload(args.workload, args.config,
+                              accesses=args.accesses, warmup=args.warmup,
+                              config=_system_config(args), seed=args.seed,
+                              interval=args.interval or max(1, args.accesses // 10),
+                              tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.json:
+        doc = result.to_json_dict()
+        doc["config"] = args.config
+        print(json.dumps(doc, indent=2))
+        return
+    manifest = result.manifest
+    print(f"workload={result.workload} config={args.config} "
+          f"seed={manifest.seed if manifest else args.seed}")
+    if manifest:
+        print(f"config_hash={manifest.config_hash} "
+              f"repro={manifest.package_version} "
+              f"duration={manifest.duration_s:.2f}s")
+    print(f"instructions={result.instructions} accesses={result.accesses} "
+          f"ipc={result.ipc:.4f}")
+    print()
+    print("cycle attribution by pipeline stage")
+    print(cycle_attribution(result.cycle_breakdown))
+    print()
+    print(breakdown_chart(result.cycle_breakdown))
+    for name in sorted(result.histograms):
+        snap = result.histograms[name]
+        if not snap.get("count"):
+            continue
+        print()
+        print(f"histogram: {name}")
+        print(histogram_chart(snap))
+    if result.intervals:
+        print()
+        print("per-interval IPC "
+              f"({result.interval} accesses per window)")
+        ipcs = [s["ipc"] for s in result.intervals]
+        print(series_table({"ipc": ipcs},
+                           [str(s["index"]) for s in result.intervals],
+                           fmt="{:8.3f}", first_header="window"))
 
 
 def cmd_analyze(args) -> None:
@@ -190,6 +305,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override LLC size (MiB)")
         p.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
+        p.add_argument("--interval", type=_positive_int,
+                       help="record stat snapshots every N timed accesses")
+        p.add_argument("--trace-out", dest="trace_out", metavar="FILE",
+                       help="write per-access pipeline events (JSONL)")
+        p.add_argument("--sample-every", type=_positive_int,
+                       dest="sample_every", default=1, metavar="N",
+                       help="trace every Nth access (default: 1)")
 
     run_parser = sub.add_parser("run", help="simulate one configuration")
     add_common(run_parser)
@@ -197,6 +319,16 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=MMU_CONFIGS + PRIOR_CONFIGS)
     run_parser.add_argument("--delayed-entries", type=int,
                             dest="delayed_entries")
+
+    profile_parser = sub.add_parser(
+        "profile", help="per-stage cycle attribution + latency histograms",
+        description="Per-stage cycle attribution table, latency histograms "
+                    "and per-interval IPC for one (workload, config) point.")
+    add_common(profile_parser)
+    profile_parser.add_argument("config",
+                                choices=MMU_CONFIGS + PRIOR_CONFIGS)
+    profile_parser.add_argument("--delayed-entries", type=int,
+                                dest="delayed_entries")
 
     compare_parser = sub.add_parser("compare",
                                     help="compare configurations")
@@ -219,6 +351,7 @@ HANDLERS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "sweep": cmd_sweep,
+    "profile": cmd_profile,
     "analyze": cmd_analyze,
     "experiments": cmd_experiments,
 }

@@ -10,6 +10,7 @@ each other's streams.
 from __future__ import annotations
 
 import random
+import zlib
 
 
 def make_rng(seed: int, stream: str = "") -> random.Random:
@@ -17,9 +18,12 @@ def make_rng(seed: int, stream: str = "") -> random.Random:
 
     The ``stream`` label decorrelates multiple generators sharing one
     user-facing seed (e.g. a workload's layout RNG vs. its access RNG).
+    The derivation must not use ``hash()``: string hashing is randomized
+    per process (PYTHONHASHSEED), which would make the same (seed,
+    stream) produce different traces across runs.
     """
     if stream:
-        seed = hash((seed, stream)) & 0xFFFFFFFFFFFF
+        seed = (seed << 32) ^ zlib.crc32(stream.encode())
     return random.Random(seed)
 
 

@@ -54,6 +54,15 @@ class StatGroup:
         """Return a plain-dict copy of the counters."""
         return dict(self._counters)
 
+    def snapshot_with_ratios(self) -> Dict[str, object]:
+        """Counters plus derived ratios, for machine-readable exports.
+
+        When both ``hits`` and ``misses`` exist a ``hit_rate`` key is
+        added (and analogously for any ``<x>_hits``/``<x>_misses`` pair),
+        so JSON consumers need not recompute the obvious ratios.
+        """
+        return derive_ratios(self.snapshot())
+
     def merge(self, other: "StatGroup") -> None:
         """Accumulate another group's counters into this one."""
         for counter, value in other._counters.items():
@@ -91,10 +100,34 @@ class StatRegistry:
         """Return ``{group: {counter: value}}`` for every registered group."""
         return {name: g.snapshot() for name, g in sorted(self._groups.items())}
 
+    def snapshot_with_ratios(self) -> Dict[str, Dict[str, object]]:
+        """Like :meth:`snapshot`, with derived ratios in every group."""
+        return {name: g.snapshot_with_ratios()
+                for name, g in sorted(self._groups.items())}
+
     def reset(self) -> None:
         """Zero every counter in every group."""
         for group in self._groups.values():
             group.reset()
+
+
+def derive_ratios(snapshot: Mapping[str, int]) -> Dict[str, object]:
+    """Return ``snapshot`` augmented with hit-rate ratios where derivable.
+
+    A plain ``hits``/``misses`` pair yields ``hit_rate``; a prefixed
+    ``<x>_hits``/``<x>_misses`` pair yields ``<x>_hit_rate``.  The input
+    counters are preserved untouched.
+    """
+    out: Dict[str, object] = dict(snapshot)
+    for key in list(snapshot):
+        if key == "hits" or key.endswith("_hits"):
+            prefix = key[:-4]                       # "hits" -> "", "x_hits" -> "x_"
+            misses_key = prefix + "misses"
+            if misses_key in snapshot:
+                total = snapshot[key] + snapshot[misses_key]
+                if total:
+                    out[prefix + "hit_rate"] = snapshot[key] / total
+    return out
 
 
 def mpki(misses: int, instructions: int) -> float:

@@ -32,6 +32,14 @@ from repro.common.address import (
 from repro.common.params import SystemConfig
 from repro.common.stats import StatGroup
 from repro.core.mmu_base import AccessOutcome, MmuBase
+from repro.obs.events import (
+    STAGE_DELAYED_TLB,
+    STAGE_FILTER,
+    STAGE_PAGE_WALK,
+    STAGE_SEGMENT_WALK,
+    STAGE_SYNONYM_TLB,
+)
+from repro.obs.histogram import Histogram
 from repro.osmodel.kernel import Kernel
 from repro.osmodel.segments import SegmentFault
 from repro.segtrans.many_segment import ManySegmentTranslator
@@ -56,17 +64,22 @@ class DelayedTlbEngine:
 
     def __init__(self, kernel: Kernel, mmu: "HybridMmu") -> None:
         self.kernel = kernel
+        self.mmu = mmu
         self.tlb = DelayedTlb(mmu.config.delayed_tlb)
         self.walker = PageWalker(mmu.config.walker, kernel.pte_path,
                                  lambda pa: mmu.charge_physical_read(0, pa),
                                  stats=StatGroup("delayed_walker"))
         mmu.stats.register(self.tlb.stats)
         mmu.stats.register(self.walker.stats)
+        self.latency_hist = mmu.register_histogram(
+            Histogram("delayed_tlb_engine_cycles"))
+        mmu.register_histogram(self.walker.cycles_hist)
 
     def translate(self, asid: int, va: int) -> Tuple[int, int, int]:
         page_key = virtual_page_key(asid, va)
         entry = self.tlb.lookup(page_key)
         cycles = self.tlb.latency
+        hit = entry is not None
         if entry is None:
             walk = self.walker.walk(asid, va)
             cycles += walk.cycles
@@ -74,6 +87,9 @@ class DelayedTlbEngine:
             entry = TlbEntry(page_key, translation.pa >> PAGE_SHIFT, True,
                              translation.permissions)
             self.tlb.fill(entry)
+        self.latency_hist.record(cycles)
+        if self.mmu.tracer.recording:
+            self.mmu.tracer.stage(STAGE_DELAYED_TLB, cycles=cycles, hit=hit)
         pa = (entry.pfn << PAGE_SHIFT) | (va & ((1 << PAGE_SHIFT) - 1))
         return pa, cycles, entry.permissions
 
@@ -93,6 +109,7 @@ class ManySegmentEngine:
                  use_segment_cache: bool = True,
                  index_cache_size: Optional[int] = None) -> None:
         self.kernel = kernel
+        self.mmu = mmu
         self.translator = ManySegmentTranslator(
             kernel, mmu.config.segments,
             memory_charge=lambda pa: mmu.charge_physical_read(0, pa),
@@ -109,15 +126,25 @@ class ManySegmentEngine:
         if self.translator.segment_cache is not None:
             mmu.stats.register(self.translator.segment_cache.stats)
         mmu.stats.register(self.stats)
+        mmu.register_histogram(self.translator.depth_hist)
+        mmu.register_histogram(self.translator.latency_hist)
+        mmu.register_histogram(self.fallback_walker.cycles_hist)
 
     def translate(self, asid: int, va: int) -> Tuple[int, int, int]:
         try:
             result = self.translator.translate(asid, va)
+            if self.mmu.tracer.recording:
+                self.mmu.tracer.stage(STAGE_SEGMENT_WALK, cycles=result.cycles,
+                                      sc_hit=result.sc_hit,
+                                      nodes_read=result.index_nodes_read)
             return result.pa, result.cycles, result.permissions
         except SegmentFault:
             self.stats.add("paging_fallbacks")
             walk = self.fallback_walker.walk(asid, va)
             translation = self.kernel.translate(asid, va)
+            if self.mmu.tracer.recording:
+                self.mmu.tracer.stage(STAGE_PAGE_WALK, cycles=walk.cycles,
+                                      fallback=True)
             return translation.pa, walk.cycles, translation.permissions
 
     def shootdown(self, asid: int, page_va: int) -> None:
@@ -150,6 +177,7 @@ class HybridMmu(MmuBase):
             lambda pa: self.charge_physical_read(0, pa),
             stats=StatGroup("synonym_walker"))
         self.stats.register(self.synonym_walker.stats)
+        self.register_histogram(self.synonym_walker.cycles_hist)
         if delayed == "tlb":
             self.delayed: DelayedEngine = DelayedTlbEngine(kernel, self)
         elif delayed == "segments":
@@ -200,7 +228,10 @@ class HybridMmu(MmuBase):
         process = self.kernel.process(asid)
         front = self.config.synonym_filter.latency  # overlapped: 0 by default
 
-        if process.synonym_filter.is_synonym_candidate(va):
+        candidate = process.synonym_filter.is_synonym_candidate(va)
+        if self.tracer.recording:
+            self.tracer.stage(STAGE_FILTER, cycles=front, candidate=candidate)
+        if candidate:
             self.hybrid_stats.add("synonym_candidates")
             key, extra_front, permissions, pa = self._resolve_candidate(asid, va)
             front += extra_front
@@ -229,6 +260,7 @@ class HybridMmu(MmuBase):
         page_key = virtual_page_key(asid, va)
         front = self.synonym_tlb.latency
         entry = self.synonym_tlb.lookup(page_key)
+        hit = entry is not None
         if entry is None:
             walk = self.synonym_walker.walk(asid, va)
             front += walk.cycles
@@ -236,6 +268,9 @@ class HybridMmu(MmuBase):
             entry = TlbEntry(page_key, translation.pa >> PAGE_SHIFT,
                              translation.shared, translation.permissions)
             self.synonym_tlb.fill(entry)
+        if self.tracer.recording:
+            self.tracer.stage(STAGE_SYNONYM_TLB, cycles=front, hit=hit,
+                              is_synonym=entry.is_synonym)
         if entry.is_synonym:
             self.hybrid_stats.add("true_synonym_accesses")
             pa = (entry.pfn << PAGE_SHIFT) | (va & ((1 << PAGE_SHIFT) - 1))
@@ -318,6 +353,21 @@ class HybridMmu(MmuBase):
     # ------------------------------------------------------------------ #
     # Reporting helpers (Table II inputs)
     # ------------------------------------------------------------------ #
+
+    def histograms(self) -> dict:
+        """Registered histograms plus the aggregated filter occupancy.
+
+        Synonym filters are per-process OS state created after the MMU,
+        so their occupancy samples are merged across the kernel's live
+        processes at snapshot time rather than registered up front.
+        """
+        hists = super().histograms()
+        occupancy = Histogram("synonym_filter_occupancy")
+        for process in self.kernel.processes():
+            occupancy.merge(process.synonym_filter.occupancy_hist)
+        if occupancy.count:
+            hists[occupancy.name] = occupancy
+        return hists
 
     def false_positive_rate(self) -> float:
         """False-positive candidate accesses / all accesses."""

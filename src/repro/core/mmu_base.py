@@ -28,6 +28,8 @@ from typing import Optional
 from repro.cache.hierarchy import CacheHierarchy
 from repro.common.params import SystemConfig
 from repro.common.stats import StatRegistry
+from repro.obs.histogram import Histogram
+from repro.obs.tracer import NULL_TRACER
 from repro.osmodel.kernel import Kernel
 from repro.timing.dram import DramModel
 
@@ -67,6 +69,35 @@ class MmuBase:
         self.stats.register(self.caches.stats)
         self.stats.register(self.dram.stats)
         self._accesses = 0
+        self.tracer = NULL_TRACER
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # Observability plumbing
+    # ------------------------------------------------------------------ #
+
+    def attach_tracer(self, tracer) -> None:
+        """Install a tracer on this MMU and its cache hierarchy.
+
+        Pass :data:`repro.obs.tracer.NULL_TRACER` to detach; the null
+        tracer keeps every probe site to one attribute check.
+        """
+        self.tracer = tracer
+        self.caches.tracer = tracer
+
+    def register_histogram(self, histogram: Histogram) -> Histogram:
+        """Adopt a structure-owned histogram into this MMU's result set."""
+        self._histograms[histogram.name] = histogram
+        return histogram
+
+    def histograms(self) -> dict:
+        """Every registered histogram, keyed by name."""
+        return dict(self._histograms)
+
+    def histogram_snapshots(self) -> dict:
+        """JSON-ready snapshots of every non-empty registered histogram."""
+        return {name: h.snapshot() for name, h in self.histograms().items()
+                if h.count}
 
     # ------------------------------------------------------------------ #
     # Helpers shared by subclasses

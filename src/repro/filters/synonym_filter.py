@@ -27,6 +27,7 @@ from repro.common.params import SynonymFilterConfig
 from repro.common.stats import StatGroup
 from repro.filters.bloom import BloomFilter
 from repro.filters.hashing import make_hash_pair
+from repro.obs.histogram import Histogram
 
 
 class SynonymFilter:
@@ -40,6 +41,11 @@ class SynonymFilter:
                                 make_hash_pair(self.config.fine_grain_shift))
         self.coarse = BloomFilter(self.config.bits,
                                   make_hash_pair(self.config.coarse_grain_shift))
+        # Occupancy (set-bit count of the fuller filter) sampled at every
+        # OS-side insert — the saturation trajectory the rebuild policy
+        # watches.  Inserts are rare (sharing transitions), so this is
+        # off the per-access path.
+        self.occupancy_hist = Histogram("synonym_filter_occupancy")
 
     # ------------------------------------------------------------------ #
     # OS-side maintenance
@@ -55,6 +61,8 @@ class SynonymFilter:
         self.fine.insert(va)
         self.coarse.insert(va)
         self.stats.add("pages_marked")
+        self.occupancy_hist.record(max(self.fine.popcount(),
+                                       self.coarse.popcount()))
 
     def mark_shared_range(self, va_start: int, length: int, page_size: int = 4096) -> None:
         """Mark every page of ``[va_start, va_start + length)`` as shared."""

@@ -1,0 +1,33 @@
+"""Observability layer: event tracing, histograms, interval stats, manifests.
+
+The simulator's aggregate counters answer *how many*; this package answers
+*where* and *when*:
+
+* :mod:`repro.obs.tracer`    — typed per-access pipeline events with
+  sampling, a bounded ring buffer, and a JSONL sink.  The disabled path
+  (:data:`NULL_TRACER`) costs one attribute check per probe site.
+* :mod:`repro.obs.histogram` — log2-bucketed distributions for access
+  latency, walk depth, and filter occupancy.
+* :mod:`repro.obs.interval`  — windowed delta snapshots of every stat
+  counter, turning end-of-run aggregates into time series.
+* :mod:`repro.obs.manifest`  — run provenance (config hash, seed,
+  workload, package version, host) attached to every result.
+"""
+
+from repro.obs.events import STAGES, TraceEvent
+from repro.obs.histogram import Histogram
+from repro.obs.interval import IntervalRecorder
+from repro.obs.manifest import RunManifest, config_fingerprint
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "STAGES",
+    "TraceEvent",
+    "Histogram",
+    "IntervalRecorder",
+    "RunManifest",
+    "config_fingerprint",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+]

@@ -1,0 +1,61 @@
+"""Typed trace events emitted along the memory-access pipeline.
+
+One *access* produces a short sequence of stage events sharing a ``seq``
+number, in pipeline order:
+
+``filter_probe`` → ``synonym_tlb``? → ``cache``+ → ``delayed_tlb`` /
+``segment_walk`` / ``page_walk``? → ``access`` (the closing summary).
+
+``cache`` events may occur more than once per access: hardware metadata
+reads (PTE and index-tree node fetches) are routed through the hierarchy
+under their physical keys, and each such probe is traced too — that is
+the walk traffic the paper's large-LLC argument is about.
+
+``mark`` events carry out-of-band annotations (run boundaries in a
+multi-run trace file) and do not belong to any access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+#: Stage names, in pipeline order (``access`` closes each sampled access).
+STAGE_FILTER = "filter_probe"
+STAGE_SYNONYM_TLB = "synonym_tlb"
+STAGE_CACHE = "cache"
+STAGE_DELAYED_TLB = "delayed_tlb"
+STAGE_SEGMENT_WALK = "segment_walk"
+STAGE_PAGE_WALK = "page_walk"
+STAGE_DRAM = "dram"
+STAGE_ACCESS = "access"
+STAGE_MARK = "mark"
+
+STAGES = (
+    STAGE_FILTER,
+    STAGE_SYNONYM_TLB,
+    STAGE_CACHE,
+    STAGE_DELAYED_TLB,
+    STAGE_SEGMENT_WALK,
+    STAGE_PAGE_WALK,
+    STAGE_DRAM,
+    STAGE_ACCESS,
+    STAGE_MARK,
+)
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One pipeline event of one sampled access."""
+
+    seq: int                      # access sequence number (-1 for marks)
+    stage: str                    # one of :data:`STAGES`
+    cycles: int = 0               # cycles attributed to this stage
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat dict for the JSONL sink (detail keys are inlined)."""
+        out: Dict[str, Any] = {"seq": self.seq, "stage": self.stage,
+                               "cycles": self.cycles}
+        out.update(self.detail)
+        return out

@@ -1,0 +1,160 @@
+"""Low-overhead pipeline tracer with sampling and a JSONL sink.
+
+Instrumentation sites test ``tracer.recording`` (a plain attribute) before
+building any event, so the disabled path — :data:`NULL_TRACER`, whose
+``active``/``recording`` are always ``False`` — costs one attribute fetch
+and one branch per site.  A :class:`Tracer` samples whole accesses: every
+``sample_every``-th access records all of its stage events; the rest
+record nothing.
+
+Events land in a bounded ring buffer (oldest dropped first) and, when a
+sink is configured, are also streamed as JSON Lines — one event object
+per line — so a run can be post-processed without holding the trace in
+memory.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Any, Deque, Iterable, Optional, Union
+
+from repro.obs.events import STAGE_ACCESS, STAGE_MARK, TraceEvent
+
+
+class NullTracer:
+    """The disabled tracer: every probe site sees ``recording == False``."""
+
+    active = False
+    recording = False
+
+    def begin_access(self, core: int, asid: int, va: int,
+                     is_write: bool) -> bool:
+        return False
+
+    def stage(self, stage: str, cycles: int = 0, **detail: Any) -> None:
+        return None
+
+    def end_access(self, outcome: Any, timed: bool = True) -> None:
+        return None
+
+    def mark(self, label: str, **detail: Any) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+#: Shared do-nothing tracer installed on every structure by default.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects typed pipeline events for sampled accesses."""
+
+    active = True
+
+    def __init__(self, sample_every: int = 1, buffer_size: int = 65536,
+                 sink: Union[str, Path, IO[str], None] = None) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        self.events: Deque[TraceEvent] = deque(maxlen=buffer_size)
+        self.recording = False
+        self._seq = -1
+        self._sampled = 0
+        self._emitted = 0
+        self._sink: Optional[IO[str]] = None
+        self._owns_sink = False
+        if sink is not None:
+            if isinstance(sink, (str, Path)):
+                self._sink = open(sink, "w", encoding="utf-8")
+                self._owns_sink = True
+            else:
+                self._sink = sink
+
+    # ------------------------------------------------------------------ #
+    # Emission protocol
+    # ------------------------------------------------------------------ #
+
+    def begin_access(self, core: int, asid: int, va: int,
+                     is_write: bool) -> bool:
+        """Open the next access; returns True when it is sampled."""
+        self._seq += 1
+        self.recording = self._seq % self.sample_every == 0
+        if self.recording:
+            self._sampled += 1
+            self._pending = {"core": core, "asid": asid, "va": va,
+                             "is_write": is_write}
+        return self.recording
+
+    def stage(self, stage: str, cycles: int = 0, **detail: Any) -> None:
+        """Record one pipeline-stage event of the current sampled access."""
+        if not self.recording:
+            return
+        self._emit(TraceEvent(self._seq, stage, cycles, detail))
+
+    def end_access(self, outcome: Any, timed: bool = True) -> None:
+        """Close the current access with its phase-decomposed summary."""
+        if not self.recording:
+            return
+        detail = dict(self._pending)
+        detail.update(
+            hit_level=outcome.hit_level,
+            front_cycles=outcome.front_cycles,
+            cache_cycles=outcome.cache_cycles,
+            delayed_cycles=outcome.delayed_cycles,
+            dram_cycles=outcome.dram_cycles,
+            timed=timed,
+        )
+        total = (outcome.front_cycles + outcome.cache_cycles
+                 + outcome.delayed_cycles + outcome.dram_cycles)
+        self._emit(TraceEvent(self._seq, STAGE_ACCESS, total, detail))
+        self.recording = False
+
+    def mark(self, label: str, **detail: Any) -> None:
+        """Out-of-band annotation (e.g. a run boundary in a shared sink)."""
+        d = {"label": label}
+        d.update(detail)
+        self._emit(TraceEvent(-1, STAGE_MARK, 0, d))
+
+    def _emit(self, event: TraceEvent) -> None:
+        self._emitted += 1
+        self.events.append(event)
+        if self._sink is not None:
+            self._sink.write(json.dumps(event.to_dict()) + "\n")
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def accesses_seen(self) -> int:
+        return self._seq + 1
+
+    @property
+    def accesses_sampled(self) -> int:
+        return self._sampled
+
+    @property
+    def events_emitted(self) -> int:
+        """Total emitted events, including ones the ring buffer dropped."""
+        return self._emitted
+
+    def events_for(self, seq: int) -> Iterable[TraceEvent]:
+        return [e for e in self.events if e.seq == seq]
+
+    def close(self) -> None:
+        """Flush and (when owned) close the sink."""
+        if self._sink is not None:
+            self._sink.flush()
+            if self._owns_sink:
+                self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -23,6 +23,7 @@ from typing import Callable, Optional
 
 from repro.common.params import SegmentTranslationConfig
 from repro.common.stats import StatGroup
+from repro.obs.histogram import Histogram
 from repro.osmodel.kernel import Kernel
 from repro.osmodel.segments import SegmentFault
 from repro.segtrans.index_cache import IndexCache
@@ -57,6 +58,11 @@ class ManySegmentTranslator:
                                       size_bytes=index_cache_size)
         self.hw_table = HwSegmentTable(kernel.segment_table, self.config)
         self._tree_generation = -1
+        # Distributions over the translation path: index-tree nodes read
+        # per full walk (the paper's ≤4-node argument) and end-to-end
+        # translation latency including SC hits.
+        self.depth_hist = Histogram("segment_walk_depth")
+        self.latency_hist = Histogram("segment_translation_cycles")
 
     def _refresh_tree(self):
         tree = self.kernel.current_index_tree()
@@ -78,6 +84,7 @@ class ManySegmentTranslator:
             pa = self.segment_cache.lookup(asid, va)
             if pa is not None:
                 self.stats.add("sc_hits")
+                self.latency_hist.record(cycles)
                 return SegmentTranslation(pa, cycles, True, 0, 0x3)
 
         tree = self._refresh_tree()
@@ -100,6 +107,8 @@ class ManySegmentTranslator:
             self.segment_cache.fill(asid, va, segment.vbase, segment.vlimit,
                                     segment.offset, segment.seg_id)
         self.stats.add("full_walks")
+        self.depth_hist.record(len(lookup.node_addresses))
+        self.latency_hist.record(cycles)
         return SegmentTranslation(pa, cycles, False, len(lookup.node_addresses),
                                   segment.permissions)
 

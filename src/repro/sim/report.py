@@ -17,6 +17,9 @@ def horizontal_bars(values: Mapping[str, float], width: int = 40,
 
     ``reference`` draws a marker column at that value (e.g. the baseline
     at 1.0 in a normalized-performance chart).
+
+    Negative values render an empty (zero-length) bar annotated with
+    ``<0`` rather than a nonsense negative-width bar.
     """
     if not values:
         return "(no data)"
@@ -26,7 +29,7 @@ def horizontal_bars(values: Mapping[str, float], width: int = 40,
     label_width = max(len(k) for k in values)
     lines = []
     for label, value in values.items():
-        filled = int(round(width * value / peak))
+        filled = max(0, int(round(width * value / peak)))
         bar = "#" * filled
         if reference is not None and 0 < reference <= peak:
             marker = int(round(width * reference / peak))
@@ -34,7 +37,8 @@ def horizontal_bars(values: Mapping[str, float], width: int = 40,
                 bar = bar.ljust(marker) + "|"
             else:
                 bar = bar[:marker] + "|" + bar[marker + 1:]
-        lines.append(f"{label:<{label_width}}  {fmt.format(value)}  {bar}")
+        suffix = "  <0" if value < 0 else ""
+        lines.append(f"{label:<{label_width}}  {fmt.format(value)}  {bar}{suffix}")
     return "\n".join(lines)
 
 
@@ -75,6 +79,43 @@ def breakdown_chart(breakdown: Mapping[str, float], width: int = 50) -> str:
         segments.append(glyph * span)
         legend.append(f"  {glyph} {name}: {100 * value / total:.1f}%")
     return "[" + "".join(segments).ljust(width)[:width] + "]\n" + "\n".join(legend)
+
+
+def histogram_chart(snapshot: Mapping[str, object], width: int = 40) -> str:
+    """Render a :meth:`repro.obs.histogram.Histogram.snapshot` as bars.
+
+    One line per non-empty log2 bucket: ``[lo, hi]  count  bar``, scaled
+    to the fullest bucket, with a count/mean/p99 summary line on top.
+    """
+    buckets = snapshot.get("buckets") or []
+    count = snapshot.get("count", 0)
+    if not buckets or not count:
+        return "(empty histogram)"
+    summary = (f"n={count}  mean={snapshot.get('mean', 0.0):.1f}  "
+               f"p50<={snapshot.get('p50', 0)}  p99<={snapshot.get('p99', 0)}")
+    peak = max(b["count"] for b in buckets)
+    label_width = max(len(f"[{b['lo']}, {b['hi']}]") for b in buckets)
+    lines = [summary]
+    for b in buckets:
+        label = f"[{b['lo']}, {b['hi']}]"
+        bar = "#" * max(1, int(round(width * b["count"] / peak)))
+        share = 100.0 * b["count"] / count
+        lines.append(f"{label:>{label_width}}  {b['count']:>8} {share:5.1f}%  {bar}")
+    return "\n".join(lines)
+
+
+def cycle_attribution(breakdown: Mapping[str, float]) -> str:
+    """Per-stage cycle table: stage, cycles, share of total."""
+    total = sum(breakdown.values())
+    rows = []
+    for stage, cycles in breakdown.items():
+        share = 100.0 * cycles / total if total > 0 else 0.0
+        rows.append([stage, f"{cycles:.0f}", f"{share:5.1f}%"])
+    rows.append(["total", f"{total:.0f}", "100.0%" if total > 0 else "  0.0%"])
+    from repro.common.stats import format_table
+
+    return format_table({"stage": "stage", "cycles": "cycles",
+                         "share": "share"}, rows)
 
 
 def normalized_comparison(rows: Mapping[str, Mapping[str, float]],

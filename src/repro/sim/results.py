@@ -3,9 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.common.stats import mpki
+from repro.common.stats import derive_ratios, mpki
+from repro.obs.manifest import RunManifest
+
+#: Version tag of the ``to_json_dict`` document layout.  Bump only on
+#: incompatible changes; additive keys keep the same version.
+RESULT_SCHEMA = "repro.result/v1"
 
 
 @dataclass
@@ -20,6 +25,10 @@ class SimulationResult:
     ipc: float
     cycle_breakdown: Dict[str, float]
     stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    manifest: Optional[RunManifest] = None
+    interval: Optional[int] = None                 # window size (accesses)
+    intervals: List[Dict[str, object]] = field(default_factory=list)
+    histograms: Dict[str, dict] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Derived metrics
@@ -46,6 +55,41 @@ class SimulationResult:
         if baseline.ipc <= 0:
             return 0.0
         return self.ipc / baseline.ipc
+
+    # ------------------------------------------------------------------ #
+    # Observability views
+    # ------------------------------------------------------------------ #
+
+    def interval_series(self, group: str, counter: str) -> List[int]:
+        """One counter's per-window deltas (empty without ``interval``)."""
+        return [s["counters"].get(group, {}).get(counter, 0)
+                for s in self.intervals]
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Schema-stable machine-readable document of this result.
+
+        Layout (``schema`` = :data:`RESULT_SCHEMA`): identification,
+        aggregate metrics, per-stage ``cycle_breakdown``, ``stats`` with
+        derived hit-rate ratios, latency ``histograms``, the provenance
+        ``manifest``, and the ``intervals`` time series.
+        """
+        return {
+            "schema": RESULT_SCHEMA,
+            "workload": self.workload,
+            "mmu": self.mmu,
+            "instructions": self.instructions,
+            "accesses": self.accesses,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "llc_miss_rate": self.llc_miss_rate(),
+            "cycle_breakdown": dict(self.cycle_breakdown),
+            "stats": {name: derive_ratios(group)
+                      for name, group in self.stats.items()},
+            "histograms": dict(self.histograms),
+            "manifest": self.manifest.to_dict() if self.manifest else None,
+            "interval": self.interval,
+            "intervals": list(self.intervals),
+        }
 
 
 @dataclass

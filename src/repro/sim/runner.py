@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.common.params import SystemConfig
+from repro.obs.tracer import Tracer
 from repro.core.conventional import ConventionalMmu
 from repro.core.hybrid import HybridMmu
 from repro.core.ideal import IdealMmu
@@ -83,17 +84,22 @@ def lay_out(spec: Union[str, WorkloadSpec], kernel: Kernel,
 def run_workload(workload: Union[str, WorkloadSpec], mmu_name: str,
                  accesses: int = 100_000, warmup: int = 20_000,
                  config: Optional[SystemConfig] = None,
-                 seed: int = 42) -> SimulationResult:
+                 seed: int = 42,
+                 interval: Optional[int] = None,
+                 tracer: Optional[Tracer] = None) -> SimulationResult:
     """Simulate one (workload, MMU) point on a fresh system.
 
     ``baseline_thp`` runs on a transparent-huge-page kernel (2 MB-aligned
     eager allocations); every other configuration uses the standard one.
+    ``interval`` and ``tracer`` enable windowed stat series and pipeline
+    event tracing (see :mod:`repro.obs`); both default to off.
     """
     config = config or SystemConfig()
     kernel = Kernel(config, transparent_huge_pages=mmu_name == "baseline_thp")
     laid_out = lay_out(workload, kernel, seed=seed)
     mmu = build_mmu(mmu_name, kernel, config)
-    result = Simulator(mmu).run(laid_out, accesses, warmup=warmup, seed=seed)
+    result = Simulator(mmu).run(laid_out, accesses, warmup=warmup, seed=seed,
+                                interval=interval, tracer=tracer)
     return result
 
 
@@ -101,27 +107,43 @@ def compare_configs(workload: Union[str, WorkloadSpec],
                     mmu_names: Iterable[str] = MMU_CONFIGS,
                     accesses: int = 100_000, warmup: int = 20_000,
                     config: Optional[SystemConfig] = None,
-                    seed: int = 42) -> ComparisonRow:
-    """Run one workload under several MMU configurations."""
+                    seed: int = 42,
+                    interval: Optional[int] = None,
+                    tracer: Optional[Tracer] = None) -> ComparisonRow:
+    """Run one workload under several MMU configurations.
+
+    A shared ``tracer`` records every configuration's events into one
+    stream; ``mark`` events bracket each run so the stream stays
+    attributable.
+    """
     if isinstance(workload, str):
         name = workload
     else:
         name = workload.name
     results: Dict[str, SimulationResult] = {}
     for mmu_name in mmu_names:
+        if tracer is not None and tracer.active:
+            tracer.mark("run_start", workload=name, mmu=mmu_name)
         results[mmu_name] = run_workload(workload, mmu_name, accesses,
-                                         warmup, config, seed)
+                                         warmup, config, seed,
+                                         interval=interval, tracer=tracer)
     return ComparisonRow(name, results)
 
 
 def sweep_delayed_tlb(workload: Union[str, WorkloadSpec],
                       entry_counts: Iterable[int],
                       accesses: int = 100_000, warmup: int = 20_000,
-                      seed: int = 42) -> List[SimulationResult]:
+                      seed: int = 42,
+                      interval: Optional[int] = None,
+                      tracer: Optional[Tracer] = None) -> List[SimulationResult]:
     """Figure 4 helper: hybrid+delayed-TLB across TLB sizes."""
     results = []
     for entries in entry_counts:
         config = SystemConfig().with_delayed_tlb_entries(entries)
+        if tracer is not None and tracer.active:
+            tracer.mark("run_start", workload=str(workload),
+                        mmu="hybrid_tlb", delayed_tlb_entries=entries)
         results.append(run_workload(workload, "hybrid_tlb", accesses,
-                                    warmup, config, seed))
+                                    warmup, config, seed,
+                                    interval=interval, tracer=tracer))
     return results

@@ -5,13 +5,26 @@ each trace record becomes one ``mmu.access`` plus cycle accounting.  A
 warm-up prefix exercises the structures without being timed (the paper
 simulates 500 M–1 B instructions; our traces are shorter, so warm-up
 matters proportionally more).
+
+Observability (``repro.obs``) threads through here: an attached
+:class:`~repro.obs.tracer.Tracer` records per-access pipeline events, an
+``interval`` turns every stat counter into a windowed time series, and
+each result carries a :class:`~repro.obs.manifest.RunManifest` plus the
+latency histograms collected by the timing model and the MMU.  All of it
+is inert by default — the disabled path adds two branch checks per
+access.
 """
 
 from __future__ import annotations
 
+import time
+from datetime import datetime, timezone
 from typing import Optional
 
 from repro.core.mmu_base import MmuBase
+from repro.obs.interval import IntervalRecorder
+from repro.obs.manifest import RunManifest
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.results import SimulationResult
 from repro.timing.model import TimingModel
 from repro.workloads.spec import LaidOutWorkload
@@ -20,13 +33,17 @@ from repro.workloads.spec import LaidOutWorkload
 class Simulator:
     """Drives one workload through one MMU configuration."""
 
-    def __init__(self, mmu: MmuBase, timing: Optional[TimingModel] = None) -> None:
+    def __init__(self, mmu: MmuBase, timing: Optional[TimingModel] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.mmu = mmu
         self.timing = timing
+        self.tracer = tracer or NULL_TRACER
 
     def run(self, workload: LaidOutWorkload, accesses: int,
             warmup: int = 0, seed: Optional[int] = None,
-            reset_stats_after_warmup: bool = False) -> SimulationResult:
+            reset_stats_after_warmup: bool = False,
+            interval: Optional[int] = None,
+            tracer: Optional[Tracer] = None) -> SimulationResult:
         """Simulate ``accesses`` timed references after ``warmup`` untimed ones.
 
         With ``reset_stats_after_warmup`` the structure counters are
@@ -34,18 +51,51 @@ class Simulator:
         describe steady state only (the paper's methodology: counters
         over a detailed window after fast-forwarding).  Structure *state*
         (cache/TLB contents) is kept either way.
+
+        ``interval`` (timed accesses per window) records delta snapshots
+        of every counter, yielding ``ceil(accesses / interval)`` windows.
+        ``tracer`` overrides the one given at construction; tracing never
+        alters simulated behavior, only records it.
         """
         spec = workload.spec
         timing = self.timing or TimingModel(self.mmu.config.core, mlp=spec.mlp)
         trace = workload.trace(warmup + accesses, seed=seed)
 
+        tracer = tracer if tracer is not None else self.tracer
+        tracing = tracer.active
+        if tracing:
+            self.mmu.attach_tracer(tracer)
+        recorder = (IntervalRecorder(self.mmu.stats, timing, interval)
+                    if interval else None)
+        started_at = datetime.now(timezone.utc).isoformat()
+        t0 = time.perf_counter()
+
         for i, record in enumerate(trace):
             if i == warmup and reset_stats_after_warmup:
                 self.mmu.stats.reset()
+            if tracing:
+                tracer.begin_access(record.core, record.asid, record.va,
+                                    record.is_write)
             outcome = self.mmu.access(record.core, record.asid, record.va,
                                       record.is_write)
+            if tracing:
+                tracer.end_access(outcome, timed=i >= warmup)
             if i >= warmup:
                 timing.record(outcome, instructions_between=1 + record.gap)
+                if recorder is not None:
+                    recorder.tick()
+
+        if recorder is not None:
+            recorder.finish()
+        if tracing:
+            self.mmu.attach_tracer(NULL_TRACER)
+
+        manifest = RunManifest.collect(
+            workload=spec.name, mmu=self.mmu.name, config=self.mmu.config,
+            seed=seed, accesses=accesses, warmup=warmup,
+            started_at=started_at, duration_s=time.perf_counter() - t0)
+        histograms = dict(timing.histogram_snapshots())
+        histograms.update(self.mmu.histogram_snapshots())
 
         return SimulationResult(
             workload=spec.name,
@@ -56,4 +106,8 @@ class Simulator:
             ipc=timing.ipc(),
             cycle_breakdown=timing.breakdown(),
             stats=self.mmu.snapshot(),
+            manifest=manifest,
+            interval=interval,
+            intervals=list(recorder.snapshots) if recorder is not None else [],
+            histograms=histograms,
         )

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.common.params import CoreConfig
+from repro.obs.histogram import Histogram
 
 if TYPE_CHECKING:  # avoid a circular import; outcomes are duck-typed here
     from repro.core.mmu_base import AccessOutcome
@@ -60,6 +61,10 @@ class TimingModel:
         # An L1 hit of this latency is fully hidden by the pipeline.
         self.l1_hit_pipelined_cycles = l1_hit_pipelined_cycles
         self.acct = CycleAccounting()
+        # Latency distributions over the timed window (log2 buckets).
+        self.access_hist = Histogram("access_cycles")
+        self.front_hist = Histogram("front_translation_cycles")
+        self.delayed_hist = Histogram("delayed_translation_cycles")
 
     def record(self, outcome: "AccessOutcome", instructions_between: int = 1) -> None:
         """Account one memory access plus the instructions preceding it."""
@@ -71,6 +76,14 @@ class TimingModel:
         acct.cache_stall_cycles += exposed_cache
         acct.delayed_stall_cycles += outcome.delayed_cycles
         acct.dram_stall_cycles += outcome.dram_cycles
+        self.access_hist.record(outcome.front_cycles + outcome.cache_cycles
+                                + outcome.delayed_cycles + outcome.dram_cycles)
+        # Zero-cost stages are the common case; keep their histograms to
+        # the accesses where the stage actually ran.
+        if outcome.front_cycles:
+            self.front_hist.record(outcome.front_cycles)
+        if outcome.delayed_cycles:
+            self.delayed_hist.record(outcome.delayed_cycles)
 
     def record_compute(self, instructions: int) -> None:
         """Account trailing non-memory instructions."""
@@ -100,6 +113,16 @@ class TimingModel:
         if not self.acct.instructions:
             return 0.0
         return self.total_cycles() / self.acct.instructions
+
+    def histograms(self) -> dict:
+        """The model's latency histograms, keyed by name."""
+        return {h.name: h for h in (self.access_hist, self.front_hist,
+                                    self.delayed_hist)}
+
+    def histogram_snapshots(self) -> dict:
+        """JSON-ready snapshots of every non-empty histogram."""
+        return {name: h.snapshot() for name, h in self.histograms().items()
+                if h.count}
 
     def breakdown(self) -> dict:
         """Cycle components (for stacked-bar style reporting)."""

@@ -21,6 +21,7 @@ from typing import Callable, Sequence
 
 from repro.common.params import WalkerConfig
 from repro.common.stats import StatGroup
+from repro.obs.histogram import Histogram
 
 # Resolve callback: (asid, va) -> sequence of PTE physical addresses,
 # ordered root -> leaf.  Raises KeyError for unmapped addresses.
@@ -47,6 +48,9 @@ class PageWalker:
         self.resolve = resolve
         self.charge = charge
         self.stats = stats or StatGroup("page_walker")
+        # Per-walk latency distribution (named after the stat group so a
+        # hybrid MMU's several walkers stay distinguishable).
+        self.cycles_hist = Histogram(f"{self.stats.name}_cycles")
         # Walk cache: maps (asid, va >> 21) -> True; LRU via dict order.
         self._walk_cache: dict[tuple[int, int], bool] = {}
 
@@ -87,6 +91,7 @@ class PageWalker:
             cycles += self.charge(pte_pa)
         self.stats.add("pte_reads", len(touched))
         self.stats.add("walk_cycles", cycles)
+        self.cycles_hist.record(cycles)
         return WalkResult(cycles=cycles, memory_accesses=len(touched),
                           walk_cache_hit=hit)
 

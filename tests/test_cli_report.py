@@ -1,5 +1,7 @@
 """Tests for the CLI and the report-rendering helpers."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -113,3 +115,62 @@ class TestCliCommands:
         assert main(["analyze", "stream"] + FAST) == 0
         out = capsys.readouterr().out
         assert "distinct pages=" in out
+
+    def test_run_json_document(self, capsys):
+        assert main(["run", "stream", "hybrid_tlb", "--json"] + FAST) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.result/v1"
+        assert doc["manifest"]["workload"] == "stream"
+        assert doc["cycle_breakdown"]
+        assert doc["intervals"]          # --json auto-records a time series
+        assert "access_cycles" in doc["histograms"]
+
+    def test_run_trace_out_writes_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "events.jsonl"
+        assert main(["run", "stream", "hybrid_tlb",
+                     "--trace-out", str(trace),
+                     "--sample-every", "10"] + FAST) == 0
+        capsys.readouterr()
+        lines = trace.read_text().strip().splitlines()
+        assert lines
+        assert all("stage" in json.loads(line) for line in lines[:20])
+
+    def test_sweep_json(self, capsys):
+        assert main(["sweep", "stream", "--sizes", "1024,2048",
+                     "--json"] + FAST) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["sizes"] == [1024, 2048]
+        assert len(doc["delayed_tlb_mpki"]) == 2
+
+    def test_compare_json_carries_results(self, capsys):
+        assert main(["compare", "stream", "--configs", "baseline,ideal",
+                     "--json"] + FAST) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc["results"]) == {"baseline", "ideal"}
+        assert doc["results"]["ideal"]["schema"] == "repro.result/v1"
+
+
+class TestProfileCommand:
+    def test_profile_help_smoke(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["profile", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "cycle attribution" in out
+
+    def test_profile_renders_stages_and_histograms(self, capsys):
+        assert main(["profile", "stream", "hybrid_tlb"] + FAST) == 0
+        out = capsys.readouterr().out
+        assert "cycle attribution by pipeline stage" in out
+        assert "translation_delayed" in out
+        # At least two latency histograms for the hybrid MMU.
+        assert out.count("histogram:") >= 2
+        assert "histogram: access_cycles" in out
+        assert "per-interval IPC" in out
+
+    def test_profile_json(self, capsys):
+        assert main(["profile", "stream", "hybrid_segments", "--json"]
+                    + FAST) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["config"] == "hybrid_segments"
+        assert "segment_translation_cycles" in doc["histograms"]
