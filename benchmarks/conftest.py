@@ -5,20 +5,51 @@ modules print the regenerated rows/series (run pytest with ``-s`` to see
 them) and assert the paper's qualitative shape.  The ``benchmark``
 fixture wraps each experiment once (``pedantic`` with one round) so the
 wall-clock cost of regenerating every artifact is itself recorded.
+
+Simulation-driven modules build :class:`repro.exec.ExperimentPlan`s and
+run them through the session ``engine`` fixture, so one environment
+switch parallelizes or caches every figure regeneration:
+
+* ``REPRO_BENCH_WORKERS=N`` — fan each plan's independent points across
+  ``N`` processes (results stay bit-identical to serial);
+* ``REPRO_BENCH_CACHE=DIR`` — reuse fingerprint-keyed results between
+  benchmark sessions; only changed points are re-simulated.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import platform
 import time
 
 import pytest
 
+from repro.exec import ParallelExecutor, ResultCache, SerialExecutor
+
 #: Wall-clock of every experiment wrapped by :func:`run_once` this
 #: session, in execution order — the raw material of ``latest.json``.
 _TIMINGS: list[dict] = []
+
+
+class Engine:
+    """The executor + cache every benchmark plan runs through."""
+
+    def __init__(self) -> None:
+        workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+        self.executor = (ParallelExecutor(workers=workers) if workers > 1
+                         else SerialExecutor())
+        cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+
+    def run(self, plan):
+        return plan.run(executor=self.executor, cache=self.cache)
+
+
+@pytest.fixture(scope="session")
+def engine():
+    return Engine()
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -14,9 +14,7 @@ import pytest
 
 from repro.common.params import SystemConfig
 from repro.common.stats import mpki
-from repro.core import HybridMmu
-from repro.osmodel import Kernel
-from repro.sim import Simulator, lay_out
+from repro.exec import ExperimentPlan, Job
 from repro.workloads import FIG4_WORKLOADS, spec
 
 from conftest import emit, run_once
@@ -29,28 +27,38 @@ SCALING_HOSTILE = ("gups", "milc", "mcf")
 SCALING_FRIENDLY = ("xalancbmk", "tigr", "omnetpp", "soplex")
 
 
-def measure_point(name: str, entries: int) -> float:
-    config = SystemConfig().with_delayed_tlb_entries(entries)
-    kernel = Kernel(config)
-    workload = lay_out(name, kernel)
-    mmu = HybridMmu(kernel, config, delayed="tlb")
-    Simulator(mmu).run(workload, accesses=ACCESSES, warmup=WARMUP,
-                       reset_stats_after_warmup=True)
-    misses = mmu.delayed.tlb.misses()
-    instructions = spec(name).instructions_for(ACCESSES)
-    return mpki(misses, instructions)
+def build_plan():
+    """One job per (workload, delayed-TLB size) grid point."""
+    plan = ExperimentPlan()
+    points = {}
+    for name in FIG4_WORKLOADS:
+        for entries in SIZES:
+            job = Job(workload=name, mmu="hybrid_tlb",
+                      config=SystemConfig().with_delayed_tlb_entries(entries),
+                      accesses=ACCESSES, warmup=WARMUP,
+                      reset_stats_after_warmup=True,
+                      tags=(("delayed_tlb_entries", entries),))
+            plan.add(job)
+            points[(name, entries)] = job
+    return plan, points
 
 
-def measure_all():
-    return {
-        name: [measure_point(name, entries) for entries in SIZES]
-        for name in FIG4_WORKLOADS
-    }
+def measure_all(engine):
+    plan, points = build_plan()
+    results = engine.run(plan)
+    curves = {}
+    for name in FIG4_WORKLOADS:
+        instructions = spec(name).instructions_for(ACCESSES)
+        curves[name] = [
+            mpki(results.result(points[(name, entries)])
+                 .counter("delayed_tlb", "misses"), instructions)
+            for entries in SIZES]
+    return curves
 
 
 @pytest.mark.benchmark(group="fig4")
-def test_fig4_delayed_tlb_mpki(benchmark, report):
-    curves = run_once(benchmark, measure_all)
+def test_fig4_delayed_tlb_mpki(benchmark, report, engine):
+    curves = run_once(benchmark, measure_all, engine)
 
     emit(report, "\nFigure 4 — delayed-TLB MPKI (absolute, then "
                  "normalized to the 1K-entry point)")

@@ -17,9 +17,9 @@ from __future__ import annotations
 import pytest
 
 from repro.common.params import SystemConfig
-from repro.sim import Simulator, build_mmu, geometric_mean, lay_out
-from repro.osmodel import Kernel
-from repro.workloads import CACHE_FRIENDLY, MEMORY_INTENSIVE
+from repro.exec import ExperimentPlan, Job
+from repro.sim import geometric_mean
+from repro.workloads import MEMORY_INTENSIVE
 
 from conftest import emit, run_once
 
@@ -33,41 +33,40 @@ WORKLOADS = tuple(MEMORY_INTENSIVE) + ("omnetpp", "soplex", "astar",
                                        "stream", "gemsfdtd")
 
 
-def build(config_name: str, kernel: Kernel, system: SystemConfig):
-    if config_name == "delayed_tlb_1k":
-        return build_mmu("hybrid_tlb", kernel,
-                         system.with_delayed_tlb_entries(1024))
-    if config_name == "delayed_tlb_32k":
-        return build_mmu("hybrid_tlb", kernel,
-                         system.with_delayed_tlb_entries(32768))
-    if config_name == "many_seg_nosc":
-        return build_mmu("hybrid_segments_nosc", kernel, system)
-    if config_name == "many_seg_sc":
-        return build_mmu("hybrid_segments", kernel, system)
-    return build_mmu(config_name, kernel, system)
-
-
-def measure(workload_name: str):
+def job_for(workload_name: str, config_name: str) -> Job:
+    """Translate one figure column into an engine job."""
     system = SystemConfig()
-    ipcs = {}
-    for config_name in CONFIGS:
-        kernel = Kernel(system)
-        workload = lay_out(workload_name, kernel)
-        mmu = build(config_name, kernel, system)
-        result = Simulator(mmu).run(workload, accesses=ACCESSES,
-                                    warmup=WARMUP)
-        ipcs[config_name] = result.ipc
-    base = ipcs["baseline"]
-    return {name: ipc / base for name, ipc in ipcs.items()}
+    mmu_name, config = {
+        "delayed_tlb_1k": ("hybrid_tlb",
+                           system.with_delayed_tlb_entries(1024)),
+        "delayed_tlb_32k": ("hybrid_tlb",
+                            system.with_delayed_tlb_entries(32768)),
+        "many_seg_nosc": ("hybrid_segments_nosc", system),
+        "many_seg_sc": ("hybrid_segments", system),
+    }.get(config_name, (config_name, system))
+    return Job(workload=workload_name, mmu=mmu_name, config=config,
+               accesses=ACCESSES, warmup=WARMUP,
+               tags=(("column", config_name),))
 
 
-def measure_all():
-    return {name: measure(name) for name in WORKLOADS}
+def measure_all(engine):
+    plan = ExperimentPlan()
+    points = {(name, config_name): job_for(name, config_name)
+              for name in WORKLOADS for config_name in CONFIGS}
+    plan.extend(points.values())
+    results = engine.run(plan)
+    rows = {}
+    for name in WORKLOADS:
+        ipcs = {config_name: results.result(points[(name, config_name)]).ipc
+                for config_name in CONFIGS}
+        base = ipcs["baseline"]
+        rows[name] = {c: ipc / base for c, ipc in ipcs.items()}
+    return rows
 
 
 @pytest.mark.benchmark(group="fig9")
-def test_fig9_native_performance(benchmark, report):
-    rows = run_once(benchmark, measure_all)
+def test_fig9_native_performance(benchmark, report, engine):
+    rows = run_once(benchmark, measure_all, engine)
 
     emit(report, "\nFigure 9 — performance normalized to baseline")
     header = "".join(c.rjust(16) for c in CONFIGS)

@@ -10,6 +10,8 @@ Public API tour
 * :mod:`repro.osmodel`   — the OS substrate (frames, page tables, segments).
 * :mod:`repro.workloads` — calibrated synthetic workload generators.
 * :mod:`repro.sim`       — one-call experiment drivers.
+* :mod:`repro.exec`      — job-based execution engine (plans, parallel
+  executors, fingerprint-keyed result caching).
 * :mod:`repro.energy`    — translation-energy accounting.
 * :mod:`repro.virt`      — virtualization (2-D translation) support.
 

@@ -15,16 +15,24 @@ Subcommands:
 ``--json`` (schema-stable document), ``--interval N`` (windowed stat
 time series), ``--trace-out FILE`` (JSONL pipeline events) and
 ``--sample-every N`` (trace sampling).  See ``docs/observability.md``.
+
+``run``/``compare``/``sweep`` additionally take the execution-engine
+flags: ``--workers N`` fans the independent simulation points across a
+process pool, and ``--cache-dir DIR`` reuses fingerprint-keyed results
+from earlier invocations so only changed points are re-simulated.  See
+``docs/execution.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 from typing import List, Optional
 
 from repro.common.params import SystemConfig
 from repro.common.stats import mpki
+from repro.exec import ParallelExecutor, ResultCache, SerialExecutor
 from repro.obs.tracer import Tracer
 from repro.sim import (
     MMU_CONFIGS,
@@ -95,6 +103,36 @@ def _make_tracer(args) -> Optional[Tracer]:
         raise SystemExit(f"repro: cannot open trace sink {trace_out!r}: {exc}")
 
 
+def _executor(args):
+    """Engine executor from ``--workers`` (serial unless N > 1)."""
+    workers = getattr(args, "workers", None) or 1
+    if workers > 1:
+        if getattr(args, "trace_out", None):
+            raise SystemExit(
+                "repro: --trace-out records per-access events in-process "
+                "and requires serial execution; drop --workers")
+        return ParallelExecutor(workers=workers)
+    return SerialExecutor()
+
+
+def _cache(args) -> Optional[ResultCache]:
+    cache_dir = getattr(args, "cache_dir", None)
+    return ResultCache(cache_dir) if cache_dir else None
+
+
+def _progress(args):
+    """Stderr progress callback — only when the engine flags are in play,
+    so default serial output stays byte-identical."""
+    if (getattr(args, "workers", None) or 1) <= 1 \
+            and not getattr(args, "cache_dir", None):
+        return None
+
+    def report(done, total, job, status):
+        print(f"[{done}/{total}] {job.workload_name}/{job.mmu} {status}",
+              file=sys.stderr)
+    return report
+
+
 def _json_interval(args) -> Optional[int]:
     """Interval for machine-readable output: explicit flag, or a tenth
     of the timed window so ``--json`` documents always carry a series."""
@@ -142,7 +180,9 @@ def cmd_run(args) -> None:
         result = run_workload(args.workload, args.config,
                               accesses=args.accesses, warmup=args.warmup,
                               config=_system_config(args), seed=args.seed,
-                              interval=_json_interval(args), tracer=tracer)
+                              interval=_json_interval(args), tracer=tracer,
+                              executor=_executor(args), cache=_cache(args),
+                              progress=_progress(args))
     finally:
         if tracer is not None:
             tracer.close()
@@ -172,7 +212,9 @@ def cmd_compare(args) -> None:
         row = compare_configs(args.workload, mmu_names=configs,
                               accesses=args.accesses, warmup=args.warmup,
                               config=_system_config(args), seed=args.seed,
-                              interval=_json_interval(args), tracer=tracer)
+                              interval=_json_interval(args), tracer=tracer,
+                              executor=_executor(args), cache=_cache(args),
+                              progress=_progress(args))
     finally:
         if tracer is not None:
             tracer.close()
@@ -198,7 +240,10 @@ def cmd_sweep(args) -> None:
                                     accesses=args.accesses, warmup=args.warmup,
                                     seed=args.seed,
                                     interval=_json_interval(args),
-                                    tracer=tracer)
+                                    tracer=tracer,
+                                    executor=_executor(args),
+                                    cache=_cache(args),
+                                    progress=_progress(args))
     finally:
         if tracer is not None:
             tracer.close()
@@ -313,8 +358,18 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="sample_every", default=1, metavar="N",
                        help="trace every Nth access (default: 1)")
 
+    def add_exec(p):
+        p.add_argument("--workers", type=_positive_int, default=1,
+                       metavar="N",
+                       help="run independent points on N processes "
+                            "(default: 1, serial)")
+        p.add_argument("--cache-dir", dest="cache_dir", metavar="DIR",
+                       help="reuse fingerprint-keyed results from DIR; "
+                            "only changed points are re-simulated")
+
     run_parser = sub.add_parser("run", help="simulate one configuration")
     add_common(run_parser)
+    add_exec(run_parser)
     run_parser.add_argument("config",
                             choices=MMU_CONFIGS + PRIOR_CONFIGS)
     run_parser.add_argument("--delayed-entries", type=int,
@@ -333,11 +388,13 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser = sub.add_parser("compare",
                                     help="compare configurations")
     add_common(compare_parser)
+    add_exec(compare_parser)
     compare_parser.add_argument("--configs",
                                 help="comma-separated configuration names")
 
     sweep_parser = sub.add_parser("sweep", help="delayed-TLB size sweep")
     add_common(sweep_parser)
+    add_exec(sweep_parser)
     sweep_parser.add_argument("--sizes", default="1024,4096,16384,65536")
 
     analyze_parser = sub.add_parser("analyze", help="profile a trace")

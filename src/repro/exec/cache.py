@@ -1,0 +1,76 @@
+"""Fingerprint-keyed on-disk result cache.
+
+Each entry is one ``repro.result/v1`` JSON document stored at
+``<root>/<fingerprint>.json``, with the job's identity embedded so a
+human can tell what produced it.  Loads verify the schema and the
+recorded fingerprint; anything missing, corrupt, or mismatched is a
+miss — a broken cache entry can cost a re-simulation, never a wrong
+result.  Stores are atomic (temp file + rename) so concurrent workers
+and interrupted runs cannot leave half-written entries behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.exec.job import Job
+
+if TYPE_CHECKING:
+    from repro.sim.results import SimulationResult
+
+
+class ResultCache:
+    """Opt-in persistent store of simulation results, keyed by
+    :meth:`Job.fingerprint` (``--cache-dir`` on the CLI)."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path(self, job: Job) -> Path:
+        return self.root / f"{job.fingerprint()}.json"
+
+    def load(self, job: Job) -> "Optional[SimulationResult]":
+        """The cached result for ``job``, or ``None`` on any miss."""
+        from repro.sim.results import RESULT_SCHEMA, SimulationResult
+
+        try:
+            doc = json.loads(self.path(job).read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(doc, dict) or doc.get("schema") != RESULT_SCHEMA:
+            self.misses += 1
+            return None
+        stored_fp = doc.get("fingerprint")
+        if stored_fp is not None and stored_fp != job.fingerprint():
+            self.misses += 1
+            return None
+        try:
+            result = SimulationResult.from_json_dict(doc)
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, job: Job, result: "SimulationResult") -> Path:
+        """Persist one result atomically; returns the entry's path."""
+        doc = result.to_json_dict()
+        doc["fingerprint"] = job.fingerprint()   # additive keys: schema keeps
+        doc["identity"] = job.identity()         # its version (see results.py)
+        path = self.path(job)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(doc, indent=2) + "\n")
+        os.replace(tmp, path)
+        self.stores += 1
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

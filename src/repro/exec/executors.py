@@ -1,0 +1,120 @@
+"""Pluggable executors: serial (default) and process-pool parallel.
+
+Every submission funnels through one place — :func:`_mark_run_start` —
+which is now the single home of the ``run_start`` tracer mark that
+``compare_configs`` and ``sweep_delayed_tlb`` used to duplicate.
+
+Executors never raise for a failing job: each outcome is either a
+``SimulationResult`` or a structured :class:`JobError`, so one
+diverging point cannot kill an N-point sweep.
+
+:class:`ParallelExecutor` fans jobs over a ``ProcessPoolExecutor``.
+Outcomes are returned in submission order and every job seeds its own
+fresh kernel, so parallel output is bit-identical to serial output
+(pinned by the determinism test in ``tests/test_exec.py``).  Per-access
+tracing is in-process only: worker children run untraced, while the
+parent still emits the ``run_start`` marks.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Union
+
+from repro.exec.job import Job, JobError
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
+    from repro.sim.results import SimulationResult
+
+#: What one job yields: a result, or its captured failure.
+Outcome = Union["SimulationResult", JobError]
+
+#: Per-completion callback: ``on_done(job, outcome)``.  Serial executors
+#: call it in submission order; parallel ones in completion order.
+JobCallback = Callable[[Job, Outcome], None]
+
+
+def _mark_run_start(tracer: "Optional[Tracer]", job: Job) -> None:
+    """Bracket one job in a shared trace stream (single submission path)."""
+    if tracer is not None and tracer.active:
+        tracer.mark("run_start", **job.mark_detail())
+
+
+def run_job(job: Job, tracer: "Optional[Tracer]" = None) -> Outcome:
+    """Run one job, capturing any failure as a :class:`JobError`.
+
+    Module-level so :class:`ParallelExecutor` can pickle it into worker
+    processes.
+    """
+    try:
+        return job.run(tracer=tracer)
+    except Exception as exc:
+        return JobError.from_exception(job, exc)
+
+
+class SerialExecutor:
+    """In-process, one-job-at-a-time execution.
+
+    Behavior-identical to the historical hand-rolled loops (same order,
+    same tracer stream, same results); the default everywhere.
+    """
+
+    def __init__(self) -> None:
+        #: Jobs actually handed to :func:`run_job` — cache hits never
+        #: reach an executor, which is what the cache tests count.
+        self.submitted = 0
+
+    def run(self, jobs: Sequence[Job], tracer: "Optional[Tracer]" = None,
+            on_done: Optional[JobCallback] = None) -> List[Outcome]:
+        outcomes: List[Outcome] = []
+        for job in jobs:
+            _mark_run_start(tracer, job)
+            self.submitted += 1
+            outcome = run_job(job, tracer=tracer)
+            outcomes.append(outcome)
+            if on_done is not None:
+                on_done(job, outcome)
+        return outcomes
+
+
+class ParallelExecutor:
+    """Process-pool execution of independent jobs.
+
+    ``workers`` caps the pool size (``None`` → ``os.cpu_count()``).
+    Jobs are pickled to worker processes; outcomes come back in
+    submission order regardless of completion order.  A worker that
+    dies outright (killed, pool broken) yields a :class:`JobError` for
+    its job rather than an exception.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.submitted = 0
+
+    def run(self, jobs: Sequence[Job], tracer: "Optional[Tracer]" = None,
+            on_done: Optional[JobCallback] = None) -> List[Outcome]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        outcomes: List[Optional[Outcome]] = [None] * len(jobs)
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers) as pool:
+            futures = {}
+            for index, job in enumerate(jobs):
+                _mark_run_start(tracer, job)
+                self.submitted += 1
+                futures[pool.submit(run_job, job)] = index
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                job = jobs[index]
+                try:
+                    outcome = future.result()
+                except Exception as exc:
+                    outcome = JobError.from_exception(job, exc)
+                outcomes[index] = outcome
+                if on_done is not None:
+                    on_done(job, outcome)
+        return list(outcomes)  # fully populated: every future completed

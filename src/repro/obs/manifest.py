@@ -83,3 +83,11 @@ class RunManifest:
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "RunManifest":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored so newer
+        documents still load (forward compatibility for cached results)."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in doc.items()
+                      if key in names})

@@ -238,8 +238,15 @@ class Kernel:
                     self.frames.free(entry.pfn, 1)
         if vma.policy == POLICY_EAGER:
             for seg in vma.segments:
+                # Adjacency merging can grow one segment across several
+                # eager VMAs; release it only with its last referencing VMA.
+                if any(seg is other_seg
+                       for other in process.vmas() if other is not vma
+                       for other_seg in other.segments):
+                    continue
                 self.segment_table.remove(seg.seg_id)
                 self.frames.free(seg.pbase >> PAGE_SHIFT, seg.length >> PAGE_SHIFT)
+                process.segment_allocator.forget(seg)
         process.remove_vma(vma)
         self.stats.add("munmap")
 

@@ -273,6 +273,17 @@ class SegmentAllocator:
             return None
         return self.table.grow(seg.seg_id, piece_bytes)
 
+    def forget(self, seg: Segment) -> None:
+        """Invalidate merge state when ``seg`` is removed (munmap).
+
+        Without this a later :meth:`allocate` could try to grow a segment
+        that is no longer in the table (the frame allocator may hand back
+        the adjacent frames after a free).
+        """
+        if self._last_segment is not None and self._last_segment is seg:
+            self._last_segment = None
+            self._last_piece_end_frame = None
+
     # ------------------------------------------------------------------ #
     # Reservation-based allocation (Section IV-B)
     # ------------------------------------------------------------------ #

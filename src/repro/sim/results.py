@@ -91,6 +91,45 @@ class SimulationResult:
             "intervals": list(self.intervals),
         }
 
+    @classmethod
+    def from_json_dict(cls, doc: Dict[str, object]) -> "SimulationResult":
+        """Inverse of :meth:`to_json_dict`: rebuild a result from its
+        persisted document (the :class:`repro.exec.cache.ResultCache`
+        entry format).
+
+        Derived fields — ``llc_miss_rate`` and the float ``*hit_rate``
+        ratios :func:`derive_ratios` adds to ``stats`` — are dropped on
+        the way in, since they are recomputed on demand; unknown keys
+        are ignored for forward compatibility.  Round trip invariant:
+        ``from_json_dict(to_json_dict(r)).to_json_dict()
+        == r.to_json_dict()``.
+        """
+        schema = doc.get("schema")
+        if schema != RESULT_SCHEMA:
+            raise ValueError(
+                f"expected a {RESULT_SCHEMA} document, got {schema!r}")
+        stats = {
+            name: {key: value for key, value in group.items()
+                   if not (key.endswith("hit_rate")
+                           and isinstance(value, float))}
+            for name, group in doc.get("stats", {}).items()}
+        manifest_doc = doc.get("manifest")
+        return cls(
+            workload=doc["workload"],
+            mmu=doc["mmu"],
+            instructions=doc["instructions"],
+            accesses=doc["accesses"],
+            cycles=doc["cycles"],
+            ipc=doc["ipc"],
+            cycle_breakdown=dict(doc.get("cycle_breakdown", {})),
+            stats=stats,
+            manifest=(RunManifest.from_dict(manifest_doc)
+                      if manifest_doc else None),
+            interval=doc.get("interval"),
+            intervals=list(doc.get("intervals", [])),
+            histograms=dict(doc.get("histograms", {})),
+        )
+
 
 @dataclass
 class ComparisonRow:

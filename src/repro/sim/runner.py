@@ -4,6 +4,16 @@
 constructs the requested MMU configuration, and simulates — so every
 (workload, configuration) data point is independent and reproducible.
 
+All of these helpers are thin *plan builders* over the execution engine
+(:mod:`repro.exec`): they collect frozen :class:`~repro.exec.job.Job`
+descriptions into an :class:`~repro.exec.plan.ExperimentPlan` and run
+it through an executor.  Every helper therefore accepts the engine's
+knobs — ``executor`` (e.g. ``ParallelExecutor(workers=4)`` to fan the
+independent points across processes), ``cache`` (a ``ResultCache`` so
+reruns only simulate changed points) and ``progress`` (a callback fed
+as points finish).  Defaults — serial, uncached — behave exactly like
+the historical hand-rolled loops.
+
 MMU configuration names:
 
 * ``baseline``             — conventional physically addressed system;
@@ -26,6 +36,9 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.common.params import SystemConfig
+from repro.exec.cache import ResultCache
+from repro.exec.job import Job
+from repro.exec.plan import ExperimentPlan, ProgressCallback
 from repro.obs.tracer import Tracer
 from repro.core.conventional import ConventionalMmu
 from repro.core.hybrid import HybridMmu
@@ -35,7 +48,6 @@ from repro.core.thp import ThpBaselineMmu
 from repro.core.mmu_base import MmuBase
 from repro.osmodel.kernel import Kernel
 from repro.sim.results import ComparisonRow, SimulationResult
-from repro.sim.simulator import Simulator
 from repro.workloads import catalog
 from repro.workloads.spec import LaidOutWorkload, WorkloadSpec
 
@@ -86,7 +98,11 @@ def run_workload(workload: Union[str, WorkloadSpec], mmu_name: str,
                  config: Optional[SystemConfig] = None,
                  seed: int = 42,
                  interval: Optional[int] = None,
-                 tracer: Optional[Tracer] = None) -> SimulationResult:
+                 tracer: Optional[Tracer] = None,
+                 executor=None,
+                 cache: Optional[ResultCache] = None,
+                 progress: Optional[ProgressCallback] = None
+                 ) -> SimulationResult:
     """Simulate one (workload, MMU) point on a fresh system.
 
     ``baseline_thp`` runs on a transparent-huge-page kernel (2 MB-aligned
@@ -94,13 +110,11 @@ def run_workload(workload: Union[str, WorkloadSpec], mmu_name: str,
     ``interval`` and ``tracer`` enable windowed stat series and pipeline
     event tracing (see :mod:`repro.obs`); both default to off.
     """
-    config = config or SystemConfig()
-    kernel = Kernel(config, transparent_huge_pages=mmu_name == "baseline_thp")
-    laid_out = lay_out(workload, kernel, seed=seed)
-    mmu = build_mmu(mmu_name, kernel, config)
-    result = Simulator(mmu).run(laid_out, accesses, warmup=warmup, seed=seed,
-                                interval=interval, tracer=tracer)
-    return result
+    job = Job(workload=workload, mmu=mmu_name, config=config,
+              accesses=accesses, warmup=warmup, seed=seed, interval=interval)
+    results = ExperimentPlan([job]).run(executor=executor, cache=cache,
+                                        tracer=tracer, progress=progress)
+    return results.result(job)
 
 
 def compare_configs(workload: Union[str, WorkloadSpec],
@@ -109,24 +123,30 @@ def compare_configs(workload: Union[str, WorkloadSpec],
                     config: Optional[SystemConfig] = None,
                     seed: int = 42,
                     interval: Optional[int] = None,
-                    tracer: Optional[Tracer] = None) -> ComparisonRow:
+                    tracer: Optional[Tracer] = None,
+                    executor=None,
+                    cache: Optional[ResultCache] = None,
+                    progress: Optional[ProgressCallback] = None
+                    ) -> ComparisonRow:
     """Run one workload under several MMU configurations.
 
     A shared ``tracer`` records every configuration's events into one
-    stream; ``mark`` events bracket each run so the stream stays
-    attributable.
+    stream; the engine brackets each run with a ``run_start`` mark so
+    the stream stays attributable.
     """
     if isinstance(workload, str):
         name = workload
     else:
         name = workload.name
-    results: Dict[str, SimulationResult] = {}
-    for mmu_name in mmu_names:
-        if tracer is not None and tracer.active:
-            tracer.mark("run_start", workload=name, mmu=mmu_name)
-        results[mmu_name] = run_workload(workload, mmu_name, accesses,
-                                         warmup, config, seed,
-                                         interval=interval, tracer=tracer)
+    jobs = {mmu_name: Job(workload=workload, mmu=mmu_name, config=config,
+                          accesses=accesses, warmup=warmup, seed=seed,
+                          interval=interval)
+            for mmu_name in mmu_names}
+    plan = ExperimentPlan(jobs.values())
+    outcomes = plan.run(executor=executor, cache=cache, tracer=tracer,
+                        progress=progress)
+    results: Dict[str, SimulationResult] = {
+        mmu_name: outcomes.result(job) for mmu_name, job in jobs.items()}
     return ComparisonRow(name, results)
 
 
@@ -135,15 +155,19 @@ def sweep_delayed_tlb(workload: Union[str, WorkloadSpec],
                       accesses: int = 100_000, warmup: int = 20_000,
                       seed: int = 42,
                       interval: Optional[int] = None,
-                      tracer: Optional[Tracer] = None) -> List[SimulationResult]:
+                      tracer: Optional[Tracer] = None,
+                      executor=None,
+                      cache: Optional[ResultCache] = None,
+                      progress: Optional[ProgressCallback] = None
+                      ) -> List[SimulationResult]:
     """Figure 4 helper: hybrid+delayed-TLB across TLB sizes."""
-    results = []
-    for entries in entry_counts:
-        config = SystemConfig().with_delayed_tlb_entries(entries)
-        if tracer is not None and tracer.active:
-            tracer.mark("run_start", workload=str(workload),
-                        mmu="hybrid_tlb", delayed_tlb_entries=entries)
-        results.append(run_workload(workload, "hybrid_tlb", accesses,
-                                    warmup, config, seed,
-                                    interval=interval, tracer=tracer))
-    return results
+    jobs = [Job(workload=workload, mmu="hybrid_tlb",
+                config=SystemConfig().with_delayed_tlb_entries(entries),
+                accesses=accesses, warmup=warmup, seed=seed,
+                interval=interval,
+                tags=(("delayed_tlb_entries", entries),))
+            for entries in entry_counts]
+    plan = ExperimentPlan(jobs)
+    outcomes = plan.run(executor=executor, cache=cache, tracer=tracer,
+                        progress=progress)
+    return [outcomes.result(job) for job in jobs]

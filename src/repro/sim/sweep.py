@@ -6,6 +6,12 @@ across a sequence of values of any such field — the generalization of
 the paper's Figure 4 (delayed-TLB entries) and Figure 7 (index-cache
 size) sweeps to every parameter in the system.
 
+Both sweeps are plan builders over the execution engine
+(:mod:`repro.exec`): each point becomes a frozen ``Job``, identical
+points dedupe, and the ``executor``/``cache``/``progress`` knobs allow
+parallel execution and fingerprint-keyed result reuse (see
+``docs/execution.md``).
+
 Example::
 
     results = sweep_config("gups", "hybrid_segments",
@@ -16,11 +22,14 @@ Example::
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Iterable, List, Mapping, Sequence, Union
+import itertools
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.common.params import SystemConfig
+from repro.exec.cache import ResultCache
+from repro.exec.job import Job
+from repro.exec.plan import ExperimentPlan, ProgressCallback
 from repro.sim.results import SimulationResult
-from repro.sim.runner import run_workload
 from repro.workloads.spec import WorkloadSpec
 
 
@@ -55,36 +64,49 @@ def sweep_config(workload: Union[str, WorkloadSpec], mmu_name: str,
                  field_path: str, values: Iterable[Any],
                  base_config: SystemConfig | None = None,
                  accesses: int = 30_000, warmup: int = 10_000,
-                 seed: int = 42) -> Dict[Any, SimulationResult]:
+                 seed: int = 42,
+                 executor=None,
+                 cache: Optional[ResultCache] = None,
+                 progress: Optional[ProgressCallback] = None
+                 ) -> Dict[Any, SimulationResult]:
     """Run ``workload`` under ``mmu_name`` for each value of one field."""
     base = base_config or SystemConfig()
-    results: Dict[Any, SimulationResult] = {}
-    for value in values:
-        config = with_overrides(base, {field_path: value})
-        results[value] = run_workload(workload, mmu_name, accesses=accesses,
-                                      warmup=warmup, config=config, seed=seed)
-    return results
+    jobs = {value: Job(workload=workload, mmu=mmu_name,
+                       config=with_overrides(base, {field_path: value}),
+                       accesses=accesses, warmup=warmup, seed=seed,
+                       tags=((field_path, value),))
+            for value in values}
+    plan = ExperimentPlan(jobs.values())
+    outcomes = plan.run(executor=executor, cache=cache, progress=progress)
+    return {value: outcomes.result(job) for value, job in jobs.items()}
 
 
 def sweep_grid(workload: Union[str, WorkloadSpec], mmu_name: str,
                grid: Mapping[str, Sequence[Any]],
                base_config: SystemConfig | None = None,
                accesses: int = 30_000, warmup: int = 10_000,
-               seed: int = 42) -> List[Dict[str, Any]]:
+               seed: int = 42,
+               executor=None,
+               cache: Optional[ResultCache] = None,
+               progress: Optional[ProgressCallback] = None
+               ) -> List[Dict[str, Any]]:
     """Cartesian-product sweep over several fields.
 
     Returns a list of ``{"params": {...}, "result": SimulationResult}``
     rows in grid order.
     """
-    import itertools
-
     base = base_config or SystemConfig()
     fields = list(grid)
-    rows: List[Dict[str, Any]] = []
+    points: List[tuple] = []
+    plan = ExperimentPlan()
     for combo in itertools.product(*(grid[f] for f in fields)):
         params = dict(zip(fields, combo))
-        config = with_overrides(base, params)
-        result = run_workload(workload, mmu_name, accesses=accesses,
-                              warmup=warmup, config=config, seed=seed)
-        rows.append({"params": params, "result": result})
-    return rows
+        job = Job(workload=workload, mmu=mmu_name,
+                  config=with_overrides(base, params),
+                  accesses=accesses, warmup=warmup, seed=seed,
+                  tags=tuple(params.items()))
+        plan.add(job)
+        points.append((params, job))
+    outcomes = plan.run(executor=executor, cache=cache, progress=progress)
+    return [{"params": params, "result": outcomes.result(job)}
+            for params, job in points]

@@ -76,6 +76,15 @@ class TestExamplesRun:
         assert "context switches" in out
         assert "filter-load cost" in out
 
+    def test_parallel_sweep(self, capsys):
+        module = load_example("parallel_sweep")
+        shrink(module, ACCESSES=800, WARMUP=200, WORKERS=2)
+        module.main()
+        out = capsys.readouterr().out
+        assert "bit-identical results: True" in out
+        assert "warm rerun simulated 0 points" in out
+        assert "1 captured as JobError" in out
+
     @pytest.mark.slow
     def test_reproduce_paper(self, capsys):
         module = load_example("reproduce_paper")

@@ -87,6 +87,30 @@ class TestMmapPolicies:
         kernel.munmap(p, vma)
         assert kernel.segment_table.live_count() < live_before
 
+    def test_munmap_merged_segment_shared_by_two_vmas(self, kernel):
+        # Back-to-back eager mmaps merge into one segment when VA and PA
+        # are both adjacent; the segment must survive until its LAST
+        # referencing VMA is unmapped, and unmapping both must not
+        # double-remove it or double-free its frames.
+        p = kernel.create_process("p")
+        vma1 = kernel.mmap(p, PAGE_SIZE, policy=POLICY_EAGER)
+        vma2 = kernel.mmap(p, PAGE_SIZE, policy=POLICY_EAGER)
+        merged = (len(vma1.segments) == 1 and len(vma2.segments) == 1
+                  and vma1.segments[0] is vma2.segments[0])
+        assert merged, "expected adjacency merge for back-to-back eager mmaps"
+        seg = vma1.segments[0]
+        kernel.munmap(p, vma1)
+        assert kernel.segment_table.get(seg.seg_id) is seg  # still live
+        kernel.munmap(p, vma2)  # must not raise
+        frames = kernel.frames
+        assert (frames.free_frames() + frames.allocated_frames()
+                == frames.total_frames)
+        # Fresh allocations after the teardown stay consistent (the
+        # allocator must not merge into the removed segment).
+        vma3 = kernel.mmap(p, PAGE_SIZE, policy=POLICY_EAGER)
+        assert kernel.segment_table.get(vma3.segments[0].seg_id) is not None
+        kernel.munmap(p, vma3)
+
 
 class TestSharedMappings:
     def test_synonyms_share_physical(self, kernel):
