@@ -18,14 +18,13 @@ switch parallelizes or caches every figure regeneration:
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
-import platform
 import time
 
 import pytest
 
+from repro.bench import make_baseline, save_baseline
 from repro.exec import ParallelExecutor, ResultCache, SerialExecutor
 
 #: Wall-clock of every experiment wrapped by :func:`run_once` this
@@ -82,17 +81,8 @@ def report():
         (results_dir / "latest.txt").write_text("\n".join(lines) + "\n")
     if lines or _TIMINGS:
         results_dir.mkdir(exist_ok=True)
-        doc = {
-            "schema": "repro.bench/v1",
-            "generated_unix": time.time(),
-            "host": platform.node(),
-            "python": platform.python_version(),
-            "benchmarks": list(_TIMINGS),
-            "total_seconds": sum(t["seconds"] for t in _TIMINGS),
-            "artifact_lines": lines,
-        }
-        (results_dir / "latest.json").write_text(json.dumps(doc, indent=2)
-                                                 + "\n")
+        save_baseline(make_baseline(_TIMINGS, artifact_lines=lines),
+                      results_dir / "latest.json")
 
 
 def emit(report, text: str) -> None:

@@ -7,8 +7,13 @@ Subcommands:
 * ``run``        — simulate one (workload, configuration) point;
 * ``compare``    — one workload across several configurations;
 * ``sweep``      — delayed-TLB size sweep (Figure 4 style);
-* ``profile``    — per-stage cycle attribution and latency histograms;
-* ``analyze``    — address-stream profile of a workload trace;
+* ``profile``    — per-stage cycle attribution and latency histograms,
+  for one point or an aggregated ``--sizes`` sweep;
+* ``trace``      — the trace-analysis surface: ``trace view`` analyzes
+  recorded JSONL event traces offline, ``trace workload`` profiles a
+  workload's address stream (``analyze`` remains as an alias);
+* ``bench``      — benchmark baselines: ``record`` / ``check`` /
+  ``migrate`` (the regression gate);
 * ``experiments``— map paper artifacts to their benchmark modules.
 
 ``run``/``compare``/``sweep``/``profile`` share the observability flags:
@@ -16,11 +21,14 @@ Subcommands:
 time series), ``--trace-out FILE`` (JSONL pipeline events) and
 ``--sample-every N`` (trace sampling).  See ``docs/observability.md``.
 
-``run``/``compare``/``sweep`` additionally take the execution-engine
-flags: ``--workers N`` fans the independent simulation points across a
-process pool, and ``--cache-dir DIR`` reuses fingerprint-keyed results
-from earlier invocations so only changed points are re-simulated.  See
-``docs/execution.md``.
+``run``/``compare``/``sweep``/``profile`` additionally take the
+execution-engine flags: ``--workers N`` fans the independent simulation
+points across a process pool, and ``--cache-dir DIR`` reuses
+fingerprint-keyed results from earlier invocations so only changed
+points are re-simulated.  With ``--workers N`` a ``--trace-out BASE``
+becomes a family of per-job shards (``BASE.<fingerprint>.jsonl``, each
+opened inside its worker); ``repro trace view BASE.*.jsonl`` merges
+them.  See ``docs/execution.md``.
 """
 
 from __future__ import annotations
@@ -33,12 +41,15 @@ from typing import List, Optional
 from repro.common.params import SystemConfig
 from repro.common.stats import mpki
 from repro.exec import ParallelExecutor, ResultCache, SerialExecutor
-from repro.obs.tracer import Tracer
+from repro.obs.aggregate import PROFILE_SCHEMA, aggregate_results
+from repro.obs.tracer import Tracer, TraceSpec
+from repro.obs.traceview import read_trace
 from repro.sim import (
     MMU_CONFIGS,
     PRIOR_CONFIGS,
     compare_configs,
     run_workload,
+    sweep_config,
     sweep_delayed_tlb,
 )
 from repro.sim.report import (
@@ -91,26 +102,42 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def _make_tracer(args) -> Optional[Tracer]:
-    """Build a tracer when ``--trace-out`` was given, else None."""
+def _trace_setup(args):
+    """``(tracer, trace_spec)`` from the ``--trace-out`` family of flags.
+
+    Serial execution records into one shared stream (byte-identical to
+    the historical behavior); with ``--workers N > 1`` each job gets its
+    own shard, ``<out>.<fingerprint>.jsonl``, opened inside the worker.
+    """
     trace_out = getattr(args, "trace_out", None)
     if not trace_out:
-        return None
+        return None, None
+    sample_every = getattr(args, "sample_every", 1) or 1
+    if (getattr(args, "workers", None) or 1) > 1:
+        return None, TraceSpec(base=trace_out, sample_every=sample_every)
     try:
-        return Tracer(sample_every=getattr(args, "sample_every", 1) or 1,
-                      sink=trace_out)
+        return Tracer(sample_every=sample_every, sink=trace_out), None
     except OSError as exc:
         raise SystemExit(f"repro: cannot open trace sink {trace_out!r}: {exc}")
+
+
+def _finish_trace(tracer: Optional[Tracer],
+                  trace_spec: Optional[TraceSpec]) -> None:
+    """Close a shared tracer / report where the shards landed."""
+    if tracer is not None:
+        tracer.close()
+    if trace_spec is not None:
+        shards = trace_spec.shards()
+        print(f"repro: {len(shards)} trace shard(s) at "
+              f"{trace_spec.base}.<fingerprint>.jsonl "
+              f"(merge with: repro trace view {trace_spec.base}.*.jsonl)",
+              file=sys.stderr)
 
 
 def _executor(args):
     """Engine executor from ``--workers`` (serial unless N > 1)."""
     workers = getattr(args, "workers", None) or 1
     if workers > 1:
-        if getattr(args, "trace_out", None):
-            raise SystemExit(
-                "repro: --trace-out records per-access events in-process "
-                "and requires serial execution; drop --workers")
         return ParallelExecutor(workers=workers)
     return SerialExecutor()
 
@@ -175,17 +202,17 @@ def cmd_configs(_args) -> None:
 
 
 def cmd_run(args) -> None:
-    tracer = _make_tracer(args)
+    tracer, trace_spec = _trace_setup(args)
     try:
         result = run_workload(args.workload, args.config,
                               accesses=args.accesses, warmup=args.warmup,
                               config=_system_config(args), seed=args.seed,
                               interval=_json_interval(args), tracer=tracer,
+                              trace_spec=trace_spec,
                               executor=_executor(args), cache=_cache(args),
                               progress=_progress(args))
     finally:
-        if tracer is not None:
-            tracer.close()
+        _finish_trace(tracer, trace_spec)
     if args.json:
         doc = result.to_json_dict()
         doc["config"] = args.config
@@ -207,17 +234,17 @@ def cmd_run(args) -> None:
 
 def cmd_compare(args) -> None:
     configs = args.configs.split(",") if args.configs else list(MMU_CONFIGS)
-    tracer = _make_tracer(args)
+    tracer, trace_spec = _trace_setup(args)
     try:
         row = compare_configs(args.workload, mmu_names=configs,
                               accesses=args.accesses, warmup=args.warmup,
                               config=_system_config(args), seed=args.seed,
                               interval=_json_interval(args), tracer=tracer,
+                              trace_spec=trace_spec,
                               executor=_executor(args), cache=_cache(args),
                               progress=_progress(args))
     finally:
-        if tracer is not None:
-            tracer.close()
+        _finish_trace(tracer, trace_spec)
     normalized = row.normalized(configs[0])
     if args.json:
         print(json.dumps({"schema": "repro.compare/v1",
@@ -234,19 +261,18 @@ def cmd_compare(args) -> None:
 
 def cmd_sweep(args) -> None:
     sizes = [int(s) for s in args.sizes.split(",")]
-    tracer = _make_tracer(args)
+    tracer, trace_spec = _trace_setup(args)
     try:
         results = sweep_delayed_tlb(args.workload, sizes,
                                     accesses=args.accesses, warmup=args.warmup,
                                     seed=args.seed,
                                     interval=_json_interval(args),
-                                    tracer=tracer,
+                                    tracer=tracer, trace_spec=trace_spec,
                                     executor=_executor(args),
                                     cache=_cache(args),
                                     progress=_progress(args))
     finally:
-        if tracer is not None:
-            tracer.close()
+        _finish_trace(tracer, trace_spec)
     mpkis = [r.tlb_mpki() for r in results]
     if args.json:
         print(json.dumps({"schema": "repro.sweep/v1",
@@ -262,17 +288,29 @@ def cmd_sweep(args) -> None:
 
 
 def cmd_profile(args) -> None:
-    """Per-stage cycle attribution + latency histograms for one point."""
-    tracer = _make_tracer(args)
+    """Per-stage cycle attribution + latency histograms.
+
+    Without ``--sizes`` this profiles one (workload, config) point.  With
+    ``--sizes A,B,...`` it sweeps ``delayed_tlb.entries`` across those
+    values (optionally on ``--workers N`` processes) and renders the
+    plan-level aggregate — per-stage histograms merged across every
+    point, cycle breakdowns summed — which is identical however the
+    points were scheduled.
+    """
+    if getattr(args, "sizes", None):
+        _profile_sweep(args)
+        return
+    tracer, trace_spec = _trace_setup(args)
     try:
         result = run_workload(args.workload, args.config,
                               accesses=args.accesses, warmup=args.warmup,
                               config=_system_config(args), seed=args.seed,
                               interval=args.interval or max(1, args.accesses // 10),
-                              tracer=tracer)
+                              tracer=tracer, trace_spec=trace_spec,
+                              executor=_executor(args), cache=_cache(args),
+                              progress=_progress(args))
     finally:
-        if tracer is not None:
-            tracer.close()
+        _finish_trace(tracer, trace_spec)
     if args.json:
         doc = result.to_json_dict()
         doc["config"] = args.config
@@ -309,6 +347,66 @@ def cmd_profile(args) -> None:
                            fmt="{:8.3f}", first_header="window"))
 
 
+PROFILE_SWEEP_FIELD = "delayed_tlb.entries"
+
+
+def _profile_sweep(args) -> None:
+    """``profile --sizes``: aggregated sweep over delayed-TLB entries."""
+    sizes = [int(s) for s in args.sizes.split(",")]
+    tracer, trace_spec = _trace_setup(args)
+    try:
+        by_size = sweep_config(args.workload, args.config,
+                               PROFILE_SWEEP_FIELD, sizes,
+                               base_config=_system_config(args),
+                               accesses=args.accesses, warmup=args.warmup,
+                               seed=args.seed,
+                               interval=args.interval
+                               or max(1, args.accesses // 10),
+                               tracer=tracer, trace_spec=trace_spec,
+                               executor=_executor(args), cache=_cache(args),
+                               progress=_progress(args))
+    finally:
+        _finish_trace(tracer, trace_spec)
+    results = [by_size[size] for size in sizes]
+    aggregate = aggregate_results(results)
+    if args.json:
+        print(json.dumps({
+            "schema": PROFILE_SCHEMA,
+            "workload": args.workload,
+            "config": args.config,
+            "param": PROFILE_SWEEP_FIELD,
+            "sizes": sizes,
+            "points": [{"size": size,
+                        "ipc": by_size[size].ipc,
+                        "cycles": by_size[size].cycles}
+                       for size in sizes],
+            "aggregate": aggregate.to_json_dict(),
+        }, indent=2))
+        return
+    print(f"workload={args.workload} config={args.config} "
+          f"{PROFILE_SWEEP_FIELD}={args.sizes} seed={args.seed}")
+    print(f"points={aggregate.points} "
+          f"instructions={aggregate.instructions} "
+          f"accesses={aggregate.accesses} ipc={aggregate.ipc:.4f}")
+    print()
+    print("per-point IPC")
+    print(series_table({"ipc": [by_size[size].ipc for size in sizes]},
+                       [str(size) for size in sizes],
+                       fmt="{:8.3f}", first_header="entries"))
+    print()
+    print("aggregate cycle attribution by pipeline stage")
+    print(cycle_attribution(aggregate.cycle_breakdown))
+    print()
+    print(breakdown_chart(aggregate.cycle_breakdown))
+    for name in sorted(aggregate.histograms):
+        snap = aggregate.histograms[name]
+        if not snap.get("count"):
+            continue
+        print()
+        print(f"histogram: {name} (merged across {aggregate.points} points)")
+        print(histogram_chart(snap))
+
+
 def cmd_analyze(args) -> None:
     from repro.osmodel import Kernel
     from repro.sim import lay_out
@@ -323,6 +421,142 @@ def cmd_analyze(args) -> None:
     print("page-popularity coverage (≈ perfect-TLB hit-rate bound):")
     for entries, share in profile.page_coverage:
         print(f"  top {entries:>6} pages -> {100 * share:5.1f}% of accesses")
+
+
+def _render_run_summary(summary, heading: str) -> None:
+    """Text rendering of one traceview :class:`RunSummary`."""
+    print(heading)
+    print(f"accesses={summary.accesses} timed={summary.timed_accesses} "
+          f"total_cycles={summary.total_cycles}")
+    attribution = summary.attribution()
+    if any(attribution.values()):
+        print()
+        print("cycle attribution by phase")
+        print(cycle_attribution(attribution))
+    if summary.hit_levels:
+        print()
+        print("hit-level mix")
+        total = sum(summary.hit_levels.values())
+        print(horizontal_bars(
+            {level: count / total
+             for level, count in sorted(summary.hit_levels.items())},
+            fmt="{:6.3f}"))
+    for name in sorted(summary.stage_histograms):
+        snap = summary.stage_histograms[name].snapshot()
+        if not snap.get("count"):
+            continue
+        print()
+        print(f"stage latency histogram: {name}")
+        print(histogram_chart(snap))
+    if summary.slowest:
+        print()
+        print(f"slowest {len(summary.slowest)} accesses")
+        rows = [[record.seq, f"0x{record.va:x}",
+                 "w" if record.is_write else "r",
+                 record.hit_level or "-", record.total_cycles,
+                 " ".join(f"{phase}={cycles}" for phase, cycles
+                          in record.phase_cycles.items() if cycles)]
+                for record in summary.slowest]
+        print(markdown_table(
+            ["seq", "va", "rw", "hit", "cycles", "phases"], rows))
+
+
+def cmd_trace(args) -> Optional[int]:
+    """``repro trace view|workload`` — the trace-analysis surface."""
+    if args.trace_command == "workload":
+        return cmd_analyze(args)
+    try:
+        view = read_trace(args.files, top_n=args.top)
+    except OSError as exc:
+        raise SystemExit(f"repro: cannot read trace: {exc}")
+    if args.json:
+        print(json.dumps(view.to_json_dict(args.files), indent=2))
+        return None
+    print(f"files={len(args.files)} events={view.events_seen} "
+          f"runs={len(view.runs)}"
+          + (f" skipped_lines={view.skipped_lines}"
+             if view.skipped_lines else ""))
+    for index, run in enumerate(view.runs):
+        print()
+        _render_run_summary(run, f"run {index}: {run.label}")
+    if len(view.runs) > 1:
+        print()
+        _render_run_summary(view.overall(),
+                            f"overall ({len(view.runs)} runs combined)")
+    return None
+
+
+def cmd_bench(args) -> Optional[int]:
+    """``repro bench record|check|migrate`` — the regression gate."""
+    from repro import bench
+
+    if args.bench_command == "record":
+        jobs = bench.suite_jobs(
+            accesses=(args.accesses if args.accesses is not None
+                      else bench.DEFAULT_ACCESSES),
+            warmup=(args.warmup if args.warmup is not None
+                    else bench.DEFAULT_WARMUP),
+            seed=args.seed if args.seed is not None else bench.DEFAULT_SEED)
+        entries = bench.run_suite(jobs, executor=_executor(args),
+                                  cache=_cache(args),
+                                  progress=_progress(args))
+        doc = bench.make_baseline(entries)
+        path = bench.save_baseline(doc, args.out)
+        print(f"recorded {len(entries)} benchmark(s) -> {path}")
+        for entry in entries:
+            metrics = " ".join(f"{k}={v:.6g}"
+                               for k, v in sorted(entry["metrics"].items()))
+            print(f"  {entry['name']}: {metrics}")
+        return None
+
+    if args.bench_command == "migrate":
+        status = 0
+        for path in args.files:
+            try:
+                rewritten = bench.migrate_file(path)
+            except (OSError, ValueError) as exc:
+                print(f"repro: {path}: {exc}", file=sys.stderr)
+                status = 1
+                continue
+            print(f"{path}: {'migrated to v2' if rewritten else 'already v2'}")
+        return status
+
+    # check
+    try:
+        baseline = bench.load_baseline(args.baseline)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro: cannot load baseline: {exc}")
+    if args.current:
+        try:
+            current = bench.load_baseline(args.current)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro: cannot load current document: {exc}")
+    else:
+        jobs = bench.jobs_from_baseline(baseline)
+        if not jobs:
+            raise SystemExit(
+                "repro: baseline has no re-runnable benchmarks (no job "
+                "parameters recorded); pass --current to compare against "
+                "a pre-recorded document")
+        entries = bench.run_suite(jobs, executor=_executor(args),
+                                  cache=_cache(args),
+                                  progress=_progress(args))
+        current = bench.make_baseline(entries)
+    report = bench.compare_baselines(
+        baseline, current, threshold_pct=args.threshold,
+        seconds_threshold_pct=args.seconds_threshold)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report.to_markdown() + "\n")
+    if args.json_report:
+        with open(args.json_report, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json_dict(), handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report.to_json_dict(), indent=2))
+    else:
+        print(report.to_markdown())
+    return 0 if report.ok else 1
 
 
 def cmd_experiments(_args) -> None:
@@ -378,12 +612,18 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser = sub.add_parser(
         "profile", help="per-stage cycle attribution + latency histograms",
         description="Per-stage cycle attribution table, latency histograms "
-                    "and per-interval IPC for one (workload, config) point.")
+                    "and per-interval IPC for one (workload, config) point, "
+                    "or the merged aggregate of a --sizes sweep.")
     add_common(profile_parser)
+    add_exec(profile_parser)
     profile_parser.add_argument("config",
                                 choices=MMU_CONFIGS + PRIOR_CONFIGS)
     profile_parser.add_argument("--delayed-entries", type=int,
                                 dest="delayed_entries")
+    profile_parser.add_argument(
+        "--sizes", metavar="A,B,...",
+        help="sweep delayed_tlb.entries across these values and render "
+             "the aggregated profile (merged histograms, summed cycles)")
 
     compare_parser = sub.add_parser("compare",
                                     help="compare configurations")
@@ -397,8 +637,82 @@ def build_parser() -> argparse.ArgumentParser:
     add_exec(sweep_parser)
     sweep_parser.add_argument("--sizes", default="1024,4096,16384,65536")
 
-    analyze_parser = sub.add_parser("analyze", help="profile a trace")
+    trace_parser = sub.add_parser(
+        "trace", help="trace analytics: view recorded JSONL, profile "
+                      "a workload's address stream")
+    trace_sub = trace_parser.add_subparsers(dest="trace_command",
+                                            required=True)
+    view_parser = trace_sub.add_parser(
+        "view", help="analyze recorded --trace-out JSONL files",
+        description="Stream one or many JSONL trace files (a single "
+                    "--trace-out stream or the BASE.<fingerprint>.jsonl "
+                    "shards of a parallel run), split on run_start marks "
+                    "and report per-run cycle attribution, stage latency "
+                    "histograms, hit-level mix and the slowest accesses.")
+    view_parser.add_argument("files", nargs="+", metavar="TRACE",
+                             help="JSONL trace file(s); shell globs of "
+                                  "shard families work as-is")
+    view_parser.add_argument("--top", type=_positive_int, default=5,
+                             metavar="N",
+                             help="slowest accesses to keep (default: 5)")
+    view_parser.add_argument("--json", action="store_true",
+                             help="emit the repro.trace/v1 document")
+    workload_parser = trace_sub.add_parser(
+        "workload", help="profile a workload's address stream")
+    add_common(workload_parser)
+
+    # Deprecated spelling of `trace workload`, kept for compatibility.
+    analyze_parser = sub.add_parser("analyze", help="profile a trace "
+                                    "(alias of `trace workload`)")
     add_common(analyze_parser)
+
+    bench_parser = sub.add_parser(
+        "bench", help="benchmark baselines and the regression gate")
+    bench_sub = bench_parser.add_subparsers(dest="bench_command",
+                                            required=True)
+    record_parser = bench_sub.add_parser(
+        "record", help="run the canonical suite and write a baseline",
+        description="Run the canonical model-metric suite and write a "
+                    "repro.bench/v2 baseline document; every entry is "
+                    "self-describing so `bench check` can re-run it.")
+    record_parser.add_argument("--out", required=True, metavar="FILE",
+                               help="baseline JSON to write")
+    record_parser.add_argument("--accesses", type=int, default=None)
+    record_parser.add_argument("--warmup", type=int, default=None)
+    record_parser.add_argument("--seed", type=int, default=None)
+    add_exec(record_parser)
+    check_parser = bench_sub.add_parser(
+        "check", help="re-run the suite and gate against a baseline",
+        description="Re-run the benchmarks a baseline describes (or load "
+                    "--current) and compare metric by metric; exits "
+                    "non-zero when any gated metric regressed past the "
+                    "threshold.")
+    check_parser.add_argument("--baseline", required=True, metavar="FILE")
+    check_parser.add_argument("--current", metavar="FILE",
+                              help="compare this pre-recorded document "
+                                   "instead of re-running the suite")
+    check_parser.add_argument("--threshold", type=float, default=10.0,
+                              metavar="PCT",
+                              help="model-metric regression threshold in "
+                                   "percent (default: 10)")
+    check_parser.add_argument("--seconds-threshold", type=float,
+                              default=None, dest="seconds_threshold",
+                              metavar="PCT",
+                              help="also gate wall-clock seconds at this "
+                                   "threshold (default: report only)")
+    check_parser.add_argument("--report", metavar="FILE",
+                              help="write the markdown report here")
+    check_parser.add_argument("--json-report", dest="json_report",
+                              metavar="FILE",
+                              help="write the repro.bench.report/v1 "
+                                   "JSON document here")
+    check_parser.add_argument("--json", action="store_true",
+                              help="print the JSON report to stdout "
+                                   "instead of markdown")
+    add_exec(check_parser)
+    migrate_parser = bench_sub.add_parser(
+        "migrate", help="rewrite v1 baseline files in the v2 layout")
+    migrate_parser.add_argument("files", nargs="+", metavar="FILE")
     return parser
 
 
@@ -409,6 +723,8 @@ HANDLERS = {
     "compare": cmd_compare,
     "sweep": cmd_sweep,
     "profile": cmd_profile,
+    "trace": cmd_trace,
+    "bench": cmd_bench,
     "analyze": cmd_analyze,
     "experiments": cmd_experiments,
 }
@@ -416,8 +732,7 @@ HANDLERS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    HANDLERS[args.command](args)
-    return 0
+    return HANDLERS[args.command](args) or 0
 
 
 if __name__ == "__main__":

@@ -11,9 +11,15 @@ diverging point cannot kill an N-point sweep.
 :class:`ParallelExecutor` fans jobs over a ``ProcessPoolExecutor``.
 Outcomes are returned in submission order and every job seeds its own
 fresh kernel, so parallel output is bit-identical to serial output
-(pinned by the determinism test in ``tests/test_exec.py``).  Per-access
-tracing is in-process only: worker children run untraced, while the
-parent still emits the ``run_start`` marks.
+(pinned by the determinism test in ``tests/test_exec.py``).
+
+Per-access tracing crosses the process boundary via *sharded sinks*: a
+live ``Tracer`` holds an open file handle and is given only to in-
+process (serial) execution, while a picklable
+:class:`~repro.obs.tracer.TraceSpec` describes a family of per-job
+shards — each worker opens ``<base>.<fingerprint>.jsonl`` itself, writes
+a ``run_start`` mark, records its own job, and closes.  The shard set of
+a parallel run is identical to that of a serial run of the same plan.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Union
 from repro.exec.job import Job, JobError
 
 if TYPE_CHECKING:
-    from repro.obs.tracer import Tracer
+    from repro.obs.tracer import Tracer, TraceSpec
     from repro.sim.results import SimulationResult
 
 #: What one job yields: a result, or its captured failure.
@@ -41,16 +47,26 @@ def _mark_run_start(tracer: "Optional[Tracer]", job: Job) -> None:
         tracer.mark("run_start", **job.mark_detail())
 
 
-def run_job(job: Job, tracer: "Optional[Tracer]" = None) -> Outcome:
+def run_job(job: Job, tracer: "Optional[Tracer]" = None,
+            trace_spec: "Optional[TraceSpec]" = None) -> Outcome:
     """Run one job, capturing any failure as a :class:`JobError`.
 
     Module-level so :class:`ParallelExecutor` can pickle it into worker
-    processes.
+    processes.  With a ``trace_spec``, the job records into its own
+    shard — opened here, inside whichever process runs the job, and
+    closed before the outcome is returned — bracketed by a ``run_start``
+    mark so every shard is a self-describing single-run trace.
     """
+    if trace_spec is not None:
+        tracer = trace_spec.open(job.fingerprint())
+        tracer.mark("run_start", **job.mark_detail())
     try:
         return job.run(tracer=tracer)
     except Exception as exc:
         return JobError.from_exception(job, exc)
+    finally:
+        if trace_spec is not None and tracer is not None:
+            tracer.close()
 
 
 class SerialExecutor:
@@ -66,12 +82,15 @@ class SerialExecutor:
         self.submitted = 0
 
     def run(self, jobs: Sequence[Job], tracer: "Optional[Tracer]" = None,
-            on_done: Optional[JobCallback] = None) -> List[Outcome]:
+            on_done: Optional[JobCallback] = None,
+            trace_spec: "Optional[TraceSpec]" = None) -> List[Outcome]:
         outcomes: List[Outcome] = []
         for job in jobs:
-            _mark_run_start(tracer, job)
+            if trace_spec is None:
+                _mark_run_start(tracer, job)   # shards self-describe
             self.submitted += 1
-            outcome = run_job(job, tracer=tracer)
+            outcome = run_job(job, tracer=None if trace_spec else tracer,
+                              trace_spec=trace_spec)
             outcomes.append(outcome)
             if on_done is not None:
                 on_done(job, outcome)
@@ -95,7 +114,8 @@ class ParallelExecutor:
         self.submitted = 0
 
     def run(self, jobs: Sequence[Job], tracer: "Optional[Tracer]" = None,
-            on_done: Optional[JobCallback] = None) -> List[Outcome]:
+            on_done: Optional[JobCallback] = None,
+            trace_spec: "Optional[TraceSpec]" = None) -> List[Outcome]:
         jobs = list(jobs)
         if not jobs:
             return []
@@ -104,9 +124,11 @@ class ParallelExecutor:
                 max_workers=self.workers) as pool:
             futures = {}
             for index, job in enumerate(jobs):
-                _mark_run_start(tracer, job)
+                if trace_spec is None:
+                    _mark_run_start(tracer, job)   # shards self-describe
                 self.submitted += 1
-                futures[pool.submit(run_job, job)] = index
+                futures[pool.submit(run_job, job,
+                                    trace_spec=trace_spec)] = index
             for future in concurrent.futures.as_completed(futures):
                 index = futures[future]
                 job = jobs[index]

@@ -20,7 +20,7 @@ from repro.exec.job import Job, JobError, JobFailedError
 
 if TYPE_CHECKING:
     from repro.exec.cache import ResultCache
-    from repro.obs.tracer import Tracer
+    from repro.obs.tracer import Tracer, TraceSpec
     from repro.sim.results import SimulationResult
 
 #: Progress callback: ``progress(done, total, job, status)`` with
@@ -103,12 +103,19 @@ class ExperimentPlan:
 
     def run(self, executor=None, cache: "Optional[ResultCache]" = None,
             tracer: "Optional[Tracer]" = None,
-            progress: Optional[ProgressCallback] = None) -> PlanResults:
+            progress: Optional[ProgressCallback] = None,
+            trace_spec: "Optional[TraceSpec]" = None) -> PlanResults:
         """Execute every unique job and return their outcomes.
 
         Cache hits are resolved first and never reach the executor, so a
         cache-warm rerun of a sweep performs zero new simulations.  Only
         successful results are written back to the cache.
+
+        ``tracer`` records every executed job into one shared in-process
+        stream (serial execution); ``trace_spec`` records each job into
+        its own shard, which also works under a parallel executor (the
+        shard is opened inside the worker).  Cache hits produce no trace
+        either way — nothing was simulated.
         """
         executor = executor or SerialExecutor()
         total = len(self._jobs)
@@ -136,6 +143,7 @@ class ExperimentPlan:
                 progress(done, total, job,
                          "error" if isinstance(outcome, JobError) else "ok")
 
-        executor.run(pending, tracer=tracer, on_done=on_done)
+        executor.run(pending, tracer=tracer, on_done=on_done,
+                     trace_spec=trace_spec)
         return PlanResults({fp: outcomes[fp] for fp in self._jobs},
                            cached=cached)

@@ -12,13 +12,21 @@ The simulator's aggregate counters answer *how many*; this package answers
   counter, turning end-of-run aggregates into time series.
 * :mod:`repro.obs.manifest`  — run provenance (config hash, seed,
   workload, package version, host) attached to every result.
+* :mod:`repro.obs.traceview` — the read side: offline analytics over
+  JSONL traces (run splitting, cycle attribution, per-stage histograms,
+  hit-level mix, top-N slowest accesses).
+* :mod:`repro.obs.aggregate` — plan-level merge of per-job histograms
+  and interval series, so parallel profiles equal serial ones.
 """
 
+from repro.obs.aggregate import ProfileAggregate, aggregate_results
 from repro.obs.events import STAGES, TraceEvent
 from repro.obs.histogram import Histogram
 from repro.obs.interval import IntervalRecorder
 from repro.obs.manifest import RunManifest, config_fingerprint
-from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, TraceSpec
+from repro.obs.traceview import (AccessRecord, RunSummary, TraceView,
+                                 combine_summaries, read_trace)
 
 __all__ = [
     "STAGES",
@@ -30,4 +38,12 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "Tracer",
+    "TraceSpec",
+    "AccessRecord",
+    "RunSummary",
+    "TraceView",
+    "combine_summaries",
+    "read_trace",
+    "ProfileAggregate",
+    "aggregate_results",
 ]

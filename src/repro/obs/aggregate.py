@@ -1,0 +1,88 @@
+"""Plan-level aggregation of per-job observability output.
+
+A parallel plan produces one :class:`~repro.sim.results.SimulationResult`
+per job, each carrying its own histogram snapshots and interval series.
+This module folds them into a single profile view: histograms are
+rebuilt from their snapshots (:meth:`Histogram.from_snapshot` is
+lossless) and merged with :meth:`Histogram.merge`, cycle breakdowns are
+summed, and interval snapshots are concatenated in plan order with a
+``point`` tag.  Because every step is a sum over a deterministic result
+set, the aggregate of a parallel run is identical to the aggregate of
+the same plan run serially — the property ``repro profile --workers N``
+is pinned on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+from repro.obs.histogram import Histogram
+
+if TYPE_CHECKING:
+    from repro.sim.results import SimulationResult
+
+#: Version tag of the ``repro profile --json`` multi-point document.
+PROFILE_SCHEMA = "repro.profile/v1"
+
+
+@dataclass
+class ProfileAggregate:
+    """Observability totals across every result of one plan."""
+
+    points: int = 0
+    instructions: int = 0
+    accesses: int = 0
+    cycles: float = 0.0
+    cycle_breakdown: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, dict] = field(default_factory=dict)  # snapshots
+    intervals: List[dict] = field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "points": self.points,
+            "instructions": self.instructions,
+            "accesses": self.accesses,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "cycle_breakdown": dict(self.cycle_breakdown),
+            "histograms": dict(self.histograms),
+            "intervals": list(self.intervals),
+        }
+
+
+def aggregate_results(results: "Sequence[SimulationResult]"
+                      ) -> ProfileAggregate:
+    """Fold many results into one profile (order = plan order).
+
+    A single-result aggregate reproduces that result's own histogram
+    snapshots and intervals exactly, so the CLI can render every profile
+    through this one path.
+    """
+    aggregate = ProfileAggregate()
+    merged: Dict[str, Histogram] = {}
+    for point, result in enumerate(results):
+        aggregate.points += 1
+        aggregate.instructions += result.instructions
+        aggregate.accesses += result.accesses
+        aggregate.cycles += result.cycles
+        for stage, cycles in result.cycle_breakdown.items():
+            aggregate.cycle_breakdown[stage] = (
+                aggregate.cycle_breakdown.get(stage, 0.0) + cycles)
+        for name, snapshot in result.histograms.items():
+            histogram = merged.get(name)
+            if histogram is None:
+                histogram = merged[name] = Histogram(name)
+            histogram.merge(Histogram.from_snapshot(name, snapshot))
+        for window in result.intervals:
+            tagged = dict(window)
+            tagged["index"] = len(aggregate.intervals)
+            tagged["point"] = point
+            aggregate.intervals.append(tagged)
+    aggregate.histograms = {name: histogram.snapshot()
+                            for name, histogram in merged.items()}
+    return aggregate

@@ -47,6 +47,25 @@ class Histogram:
         self.count += other.count
         self.total += other.total
 
+    @classmethod
+    def from_snapshot(cls, name: str,
+                      snapshot: Dict[str, object]) -> "Histogram":
+        """Rebuild a histogram from a :meth:`snapshot` dict.
+
+        Snapshots keep the full per-bucket counts and the exact
+        ``count``/``total``, so this is lossless:
+        ``from_snapshot(n, h.snapshot()).snapshot() == h.snapshot()``.
+        That is what lets per-job histograms persisted in
+        ``repro.result/v1`` documents be merged across a parallel plan.
+        """
+        h = cls(name)
+        for bucket in snapshot.get("buckets", ()):      # type: ignore[union-attr]
+            lo = bucket["lo"]
+            h.counts[lo.bit_length()] = bucket["count"]
+        h.count = int(snapshot.get("count", 0))         # type: ignore[arg-type]
+        h.total = int(snapshot.get("total", 0))         # type: ignore[arg-type]
+        return h
+
     # ------------------------------------------------------------------ #
     # Derived statistics
     # ------------------------------------------------------------------ #

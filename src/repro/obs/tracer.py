@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import json
 from collections import deque
+from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Any, Deque, Iterable, Optional, Union
+from typing import (IO, Any, Deque, Dict, Iterable, Iterator, List, Optional,
+                    Tuple, Union)
 
 from repro.obs.events import STAGE_ACCESS, STAGE_MARK, TraceEvent
 
@@ -62,9 +64,14 @@ class Tracer:
         self.sample_every = sample_every
         self.events: Deque[TraceEvent] = deque(maxlen=buffer_size)
         self.recording = False
+        self.closed = False
         self._seq = -1
         self._sampled = 0
         self._emitted = 0
+        #: Buffered events grouped by ``seq`` (insertion order preserved),
+        #: kept in lockstep with the ring buffer so :meth:`events_for` is
+        #: O(events-of-that-access) instead of O(buffer).
+        self._by_seq: Dict[int, List[TraceEvent]] = {}
         self._sink: Optional[IO[str]] = None
         self._owns_sink = False
         if sink is not None:
@@ -121,7 +128,15 @@ class Tracer:
 
     def _emit(self, event: TraceEvent) -> None:
         self._emitted += 1
+        if len(self.events) == self.events.maxlen:
+            dropped = self.events.popleft()   # oldest-first ring semantics
+            group = self._by_seq.get(dropped.seq)
+            if group is not None:
+                group.pop(0)                  # dropped is always its oldest
+                if not group:
+                    del self._by_seq[dropped.seq]
         self.events.append(event)
+        self._by_seq.setdefault(event.seq, []).append(event)
         if self._sink is not None:
             self._sink.write(json.dumps(event.to_dict()) + "\n")
 
@@ -143,10 +158,24 @@ class Tracer:
         return self._emitted
 
     def events_for(self, seq: int) -> Iterable[TraceEvent]:
-        return [e for e in self.events if e.seq == seq]
+        """Buffered events of one access (marks under ``seq == -1``)."""
+        return list(self._by_seq.get(seq, ()))
+
+    def accesses(self) -> Iterator[Tuple[int, List[TraceEvent]]]:
+        """Buffered ``(seq, events)`` groups in arrival order, marks
+        excluded — the grouped view :mod:`repro.obs.traceview` consumes
+        when analyzing an in-memory buffer."""
+        for seq, events in self._by_seq.items():
+            if seq >= 0:
+                yield seq, list(events)
 
     def close(self) -> None:
-        """Flush and (when owned) close the sink."""
+        """Flush and (when owned) close the sink.  Idempotent: the
+        ``with``-statement ``__exit__`` and an explicit call may both
+        run without a double-close reaching the underlying file."""
+        if self.closed:
+            return
+        self.closed = True
         if self._sink is not None:
             self._sink.flush()
             if self._owns_sink:
@@ -158,3 +187,37 @@ class Tracer:
 
     def __exit__(self, *exc: Any) -> None:
         self.close()
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Picklable recipe for *sharded* trace capture.
+
+    A live :class:`Tracer` holds an open file handle and cannot cross a
+    process boundary, so parallel execution ships this value object
+    instead: each worker calls :meth:`open` with its job's fingerprint
+    and records into its own shard — ``<base>.<fingerprint>.jsonl`` —
+    with no cross-process coordination.  Every shard starts with a
+    ``run_start`` mark (the executor emits it), so a shard is a complete,
+    self-describing single-run trace and any set of shards can be fed
+    together to :mod:`repro.obs.traceview`.
+    """
+
+    base: Union[str, Path]
+    sample_every: int = 1
+    buffer_size: int = 65536
+
+    def shard_path(self, key: str) -> Path:
+        """Where the shard for ``key`` (a job fingerprint) lands."""
+        return Path(f"{self.base}.{key}.jsonl")
+
+    def open(self, key: str) -> Tracer:
+        """Open a fresh tracer writing the shard for ``key``."""
+        return Tracer(sample_every=self.sample_every,
+                      buffer_size=self.buffer_size,
+                      sink=self.shard_path(key))
+
+    def shards(self) -> List[Path]:
+        """Existing shard files for this spec's base path, sorted."""
+        base = Path(self.base)
+        return sorted(base.parent.glob(f"{base.name}.*.jsonl"))

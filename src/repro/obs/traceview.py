@@ -1,0 +1,300 @@
+"""Offline analytics over JSONL pipeline traces.
+
+The tracer (:mod:`repro.obs.tracer`) streams one flat JSON object per
+event; this module is the read side: it consumes one or many trace files
+(a single ``--trace-out`` stream, or the per-job shards a parallel run
+writes), splits them on ``run_start`` marks, reconstructs per-access
+records from the stage events sharing a ``seq``, and folds everything
+into per-run :class:`RunSummary` objects:
+
+* **cycle attribution** — the paper's front/cache/delayed/DRAM phase
+  split, summed from each access's closing summary event;
+* **per-stage latency histograms** — a log2 :class:`Histogram` of the
+  ``cycles`` carried by every raw stage event (``filter_probe``,
+  ``cache``, ``delayed_tlb``, ``segment_walk``, ``page_walk``);
+* **hit-level mix** — where accesses were served (l1/l2/llc/memory);
+* **top-N slowest accesses** — complete records, with their stage
+  events, of the tail the delayed-translation argument is about.
+
+Everything is streaming: files are read line by line and only the
+currently-open access groups plus a bounded top-N heap are held, so a
+multi-gigabyte trace analyzes in constant memory.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.obs.events import STAGE_ACCESS, STAGE_MARK
+from repro.obs.histogram import Histogram
+
+#: Version tag of the ``repro trace view --json`` document.
+TRACE_SCHEMA = "repro.trace/v1"
+
+#: The four phases of an access's closing summary, in pipeline order.
+PHASES = ("front_cycles", "cache_cycles", "delayed_cycles", "dram_cycles")
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class AccessRecord:
+    """One reconstructed access: its summary plus its stage events."""
+
+    seq: int
+    core: int = 0
+    asid: int = 0
+    va: int = 0
+    is_write: bool = False
+    hit_level: Optional[str] = None
+    timed: bool = True
+    total_cycles: int = 0
+    phase_cycles: Dict[str, int] = field(default_factory=dict)
+    stages: List[Dict[str, Any]] = field(default_factory=list)
+
+    @classmethod
+    def from_events(cls, closing: Dict[str, Any],
+                    stages: List[Dict[str, Any]]) -> "AccessRecord":
+        return cls(
+            seq=closing.get("seq", -1),
+            core=closing.get("core", 0),
+            asid=closing.get("asid", 0),
+            va=closing.get("va", 0),
+            is_write=bool(closing.get("is_write", False)),
+            hit_level=closing.get("hit_level"),
+            timed=bool(closing.get("timed", True)),
+            total_cycles=closing.get("cycles", 0),
+            phase_cycles={p: closing.get(p, 0) for p in PHASES},
+            stages=stages,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq, "core": self.core, "asid": self.asid,
+            "va": self.va, "is_write": self.is_write,
+            "hit_level": self.hit_level, "timed": self.timed,
+            "total_cycles": self.total_cycles,
+            "phase_cycles": dict(self.phase_cycles),
+            "stages": [{"stage": s.get("stage"), "cycles": s.get("cycles", 0)}
+                       for s in self.stages],
+        }
+
+
+@dataclass
+class RunSummary:
+    """Aggregated view of one run segment (or a whole trace)."""
+
+    detail: Dict[str, Any] = field(default_factory=dict)
+    accesses: int = 0
+    timed_accesses: int = 0
+    total_cycles: int = 0
+    phase_cycles: Dict[str, int] = field(default_factory=dict)
+    stage_events: Dict[str, int] = field(default_factory=dict)
+    stage_histograms: Dict[str, Histogram] = field(default_factory=dict)
+    hit_levels: Dict[str, int] = field(default_factory=dict)
+    slowest: List[AccessRecord] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        workload = self.detail.get("workload", "?")
+        mmu = self.detail.get("mmu", "?")
+        extra = {k: v for k, v in self.detail.items()
+                 if k not in ("workload", "mmu", "label")}
+        suffix = (" " + " ".join(f"{k}={v}" for k, v in sorted(extra.items()))
+                  if extra else "")
+        return f"{workload}/{mmu}{suffix}"
+
+    def attribution(self) -> Dict[str, int]:
+        """Phase → cycles, in pipeline order (the Figure 9 split)."""
+        return {p.removesuffix("_cycles"): self.phase_cycles.get(p, 0)
+                for p in PHASES}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "detail": dict(self.detail),
+            "accesses": self.accesses,
+            "timed_accesses": self.timed_accesses,
+            "total_cycles": self.total_cycles,
+            "cycle_attribution": self.attribution(),
+            "stage_events": dict(self.stage_events),
+            "stage_histograms": {name: h.snapshot()
+                                 for name, h in self.stage_histograms.items()},
+            "hit_levels": dict(self.hit_levels),
+            "slowest": [record.to_dict() for record in self.slowest],
+        }
+
+
+class TraceView:
+    """Streaming accumulator: feed parsed events, read run summaries."""
+
+    def __init__(self, top_n: int = 10) -> None:
+        self.top_n = top_n
+        self.runs: List[RunSummary] = []
+        self.events_seen = 0
+        self.skipped_lines = 0
+        self._current: Optional[RunSummary] = None
+        self._pending: Dict[int, List[Dict[str, Any]]] = {}
+        # (total_cycles, tiebreak) min-heap of the N slowest accesses.
+        self._heap: List[tuple] = []
+        self._heap_tick = 0
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    def feed(self, event: Dict[str, Any]) -> None:
+        """Fold one parsed JSONL event into the current run."""
+        self.events_seen += 1
+        stage = event.get("stage")
+        if stage == STAGE_MARK:
+            if event.get("label") == "run_start":
+                self._open_run(event)
+            return
+        run = self._current
+        if run is None:
+            run = self._open_run(None)  # headerless stream: implicit run
+        if stage == STAGE_ACCESS:
+            self._close_access(run, event)
+        elif stage is not None:
+            self._pending.setdefault(event.get("seq", -1), []).append(event)
+            run.stage_events[stage] = run.stage_events.get(stage, 0) + 1
+            histogram = run.stage_histograms.get(stage)
+            if histogram is None:
+                histogram = run.stage_histograms[stage] = Histogram(stage)
+            histogram.record(event.get("cycles", 0))
+
+    def _open_run(self, mark: Optional[Dict[str, Any]]) -> RunSummary:
+        self._finish_current()
+        detail = {}
+        if mark is not None:
+            detail = {k: v for k, v in mark.items()
+                      if k not in ("seq", "stage", "cycles", "label")}
+        self._current = RunSummary(detail=detail)
+        self.runs.append(self._current)
+        return self._current
+
+    def _close_access(self, run: RunSummary, event: Dict[str, Any]) -> None:
+        seq = event.get("seq", -1)
+        record = AccessRecord.from_events(event, self._pending.pop(seq, []))
+        run.accesses += 1
+        if record.timed:
+            run.timed_accesses += 1
+        run.total_cycles += record.total_cycles
+        for phase, cycles in record.phase_cycles.items():
+            run.phase_cycles[phase] = run.phase_cycles.get(phase, 0) + cycles
+        if record.hit_level is not None:
+            run.hit_levels[record.hit_level] = (
+                run.hit_levels.get(record.hit_level, 0) + 1)
+        if self.top_n > 0:
+            self._heap_tick += 1
+            entry = (record.total_cycles, self._heap_tick, record, run)
+            if len(self._heap) < self.top_n:
+                heapq.heappush(self._heap, entry)
+            elif entry[0] > self._heap[0][0]:
+                heapq.heapreplace(self._heap, entry)
+
+    def _finish_current(self) -> None:
+        """Events of never-closed accesses (truncated file) are dropped."""
+        self._pending.clear()
+
+    def finish(self) -> "TraceView":
+        """Distribute the top-N heap back onto the per-run summaries."""
+        self._finish_current()
+        for run in self.runs:
+            run.slowest = []
+        for cycles, _, record, run in sorted(self._heap, reverse=True):
+            run.slowest.append(record)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Aggregate views
+    # ------------------------------------------------------------------ #
+
+    def overall(self) -> RunSummary:
+        """All runs combined into one summary (histograms merged)."""
+        return combine_summaries(self.runs, top_n=self.top_n)
+
+    def to_json_dict(self, files: Iterable[PathLike] = ()) -> Dict[str, Any]:
+        return {
+            "schema": TRACE_SCHEMA,
+            "files": [str(f) for f in files],
+            "events": self.events_seen,
+            "skipped_lines": self.skipped_lines,
+            "runs": [run.to_dict() for run in self.runs],
+            "overall": self.overall().to_dict(),
+        }
+
+
+def combine_summaries(summaries: Iterable[RunSummary],
+                      top_n: int = 10) -> RunSummary:
+    """Merge run summaries: sums for counters, :meth:`Histogram.merge`
+    for distributions, a re-ranked union for the slowest accesses."""
+    combined = RunSummary(detail={"label": "overall"})
+    slowest: List[AccessRecord] = []
+    runs = 0
+    for summary in summaries:
+        runs += 1
+        combined.accesses += summary.accesses
+        combined.timed_accesses += summary.timed_accesses
+        combined.total_cycles += summary.total_cycles
+        for phase, cycles in summary.phase_cycles.items():
+            combined.phase_cycles[phase] = (
+                combined.phase_cycles.get(phase, 0) + cycles)
+        for stage, count in summary.stage_events.items():
+            combined.stage_events[stage] = (
+                combined.stage_events.get(stage, 0) + count)
+        for name, histogram in summary.stage_histograms.items():
+            merged = combined.stage_histograms.get(name)
+            if merged is None:
+                merged = combined.stage_histograms[name] = Histogram(name)
+            merged.merge(histogram)
+        for level, count in summary.hit_levels.items():
+            combined.hit_levels[level] = (
+                combined.hit_levels.get(level, 0) + count)
+        slowest.extend(summary.slowest)
+    combined.detail["runs"] = runs
+    slowest.sort(key=lambda r: r.total_cycles, reverse=True)
+    combined.slowest = slowest[:top_n]
+    return combined
+
+
+def iter_trace_events(paths: Iterable[PathLike],
+                      view: Optional[TraceView] = None
+                      ) -> Iterator[Dict[str, Any]]:
+    """Yield parsed events from JSONL files, in file order.
+
+    Malformed lines (e.g. the torn tail of a killed run) are skipped,
+    counted on ``view.skipped_lines`` when a view is given — a truncated
+    shard costs its last event, never the analysis.
+    """
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    if view is not None:
+                        view.skipped_lines += 1
+                    continue
+                if isinstance(event, dict):
+                    yield event
+                elif view is not None:
+                    view.skipped_lines += 1
+
+
+def read_trace(paths: Union[PathLike, Iterable[PathLike]],
+               top_n: int = 10) -> TraceView:
+    """Stream one or many trace files into a finished :class:`TraceView`."""
+    if isinstance(paths, (str, Path)):
+        paths = [paths]
+    view = TraceView(top_n=top_n)
+    for event in iter_trace_events(paths, view=view):
+        view.feed(event)
+    return view.finish()

@@ -39,7 +39,7 @@ from repro.common.params import SystemConfig
 from repro.exec.cache import ResultCache
 from repro.exec.job import Job
 from repro.exec.plan import ExperimentPlan, ProgressCallback
-from repro.obs.tracer import Tracer
+from repro.obs.tracer import Tracer, TraceSpec
 from repro.core.conventional import ConventionalMmu
 from repro.core.hybrid import HybridMmu
 from repro.core.ideal import IdealMmu
@@ -99,6 +99,7 @@ def run_workload(workload: Union[str, WorkloadSpec], mmu_name: str,
                  seed: int = 42,
                  interval: Optional[int] = None,
                  tracer: Optional[Tracer] = None,
+                 trace_spec: Optional[TraceSpec] = None,
                  executor=None,
                  cache: Optional[ResultCache] = None,
                  progress: Optional[ProgressCallback] = None
@@ -113,7 +114,8 @@ def run_workload(workload: Union[str, WorkloadSpec], mmu_name: str,
     job = Job(workload=workload, mmu=mmu_name, config=config,
               accesses=accesses, warmup=warmup, seed=seed, interval=interval)
     results = ExperimentPlan([job]).run(executor=executor, cache=cache,
-                                        tracer=tracer, progress=progress)
+                                        tracer=tracer, progress=progress,
+                                        trace_spec=trace_spec)
     return results.result(job)
 
 
@@ -124,6 +126,7 @@ def compare_configs(workload: Union[str, WorkloadSpec],
                     seed: int = 42,
                     interval: Optional[int] = None,
                     tracer: Optional[Tracer] = None,
+                    trace_spec: Optional[TraceSpec] = None,
                     executor=None,
                     cache: Optional[ResultCache] = None,
                     progress: Optional[ProgressCallback] = None
@@ -144,7 +147,7 @@ def compare_configs(workload: Union[str, WorkloadSpec],
             for mmu_name in mmu_names}
     plan = ExperimentPlan(jobs.values())
     outcomes = plan.run(executor=executor, cache=cache, tracer=tracer,
-                        progress=progress)
+                        progress=progress, trace_spec=trace_spec)
     results: Dict[str, SimulationResult] = {
         mmu_name: outcomes.result(job) for mmu_name, job in jobs.items()}
     return ComparisonRow(name, results)
@@ -156,6 +159,7 @@ def sweep_delayed_tlb(workload: Union[str, WorkloadSpec],
                       seed: int = 42,
                       interval: Optional[int] = None,
                       tracer: Optional[Tracer] = None,
+                      trace_spec: Optional[TraceSpec] = None,
                       executor=None,
                       cache: Optional[ResultCache] = None,
                       progress: Optional[ProgressCallback] = None
@@ -169,5 +173,5 @@ def sweep_delayed_tlb(workload: Union[str, WorkloadSpec],
             for entries in entry_counts]
     plan = ExperimentPlan(jobs)
     outcomes = plan.run(executor=executor, cache=cache, tracer=tracer,
-                        progress=progress)
+                        progress=progress, trace_spec=trace_spec)
     return [outcomes.result(job) for job in jobs]

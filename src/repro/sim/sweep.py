@@ -29,6 +29,7 @@ from repro.common.params import SystemConfig
 from repro.exec.cache import ResultCache
 from repro.exec.job import Job
 from repro.exec.plan import ExperimentPlan, ProgressCallback
+from repro.obs.tracer import Tracer, TraceSpec
 from repro.sim.results import SimulationResult
 from repro.workloads.spec import WorkloadSpec
 
@@ -65,6 +66,9 @@ def sweep_config(workload: Union[str, WorkloadSpec], mmu_name: str,
                  base_config: SystemConfig | None = None,
                  accesses: int = 30_000, warmup: int = 10_000,
                  seed: int = 42,
+                 interval: Optional[int] = None,
+                 tracer: Optional[Tracer] = None,
+                 trace_spec: Optional[TraceSpec] = None,
                  executor=None,
                  cache: Optional[ResultCache] = None,
                  progress: Optional[ProgressCallback] = None
@@ -74,10 +78,12 @@ def sweep_config(workload: Union[str, WorkloadSpec], mmu_name: str,
     jobs = {value: Job(workload=workload, mmu=mmu_name,
                        config=with_overrides(base, {field_path: value}),
                        accesses=accesses, warmup=warmup, seed=seed,
+                       interval=interval,
                        tags=((field_path, value),))
             for value in values}
     plan = ExperimentPlan(jobs.values())
-    outcomes = plan.run(executor=executor, cache=cache, progress=progress)
+    outcomes = plan.run(executor=executor, cache=cache, tracer=tracer,
+                        progress=progress, trace_spec=trace_spec)
     return {value: outcomes.result(job) for value, job in jobs.items()}
 
 
@@ -86,6 +92,9 @@ def sweep_grid(workload: Union[str, WorkloadSpec], mmu_name: str,
                base_config: SystemConfig | None = None,
                accesses: int = 30_000, warmup: int = 10_000,
                seed: int = 42,
+               interval: Optional[int] = None,
+               tracer: Optional[Tracer] = None,
+               trace_spec: Optional[TraceSpec] = None,
                executor=None,
                cache: Optional[ResultCache] = None,
                progress: Optional[ProgressCallback] = None
@@ -104,9 +113,11 @@ def sweep_grid(workload: Union[str, WorkloadSpec], mmu_name: str,
         job = Job(workload=workload, mmu=mmu_name,
                   config=with_overrides(base, params),
                   accesses=accesses, warmup=warmup, seed=seed,
+                  interval=interval,
                   tags=tuple(params.items()))
         plan.add(job)
         points.append((params, job))
-    outcomes = plan.run(executor=executor, cache=cache, progress=progress)
+    outcomes = plan.run(executor=executor, cache=cache, tracer=tracer,
+                        progress=progress, trace_spec=trace_spec)
     return [{"params": params, "result": outcomes.result(job)}
             for params, job in points]

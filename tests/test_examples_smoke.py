@@ -85,6 +85,25 @@ class TestExamplesRun:
         assert "warm rerun simulated 0 points" in out
         assert "1 captured as JobError" in out
 
+    def test_trace_analysis(self, capsys):
+        module = load_example("trace_analysis")
+        shrink(module, ACCESSES=800, WARMUP=200, WORKERS=2,
+               SIZES=(1024, 4096))
+        module.main()
+        out = capsys.readouterr().out
+        assert "captured 2 shard(s)" in out
+        assert "cycle attribution per run" in out
+        assert "slowest accesses" in out
+
+    def test_bench_gate(self, capsys):
+        module = load_example("bench_gate")
+        shrink(module, ACCESSES=600, WARMUP=200)
+        module.main()
+        out = capsys.readouterr().out
+        assert "verdict: PASS" in out
+        assert "verdict: FAIL" in out
+        assert "ipc" in out
+
     @pytest.mark.slow
     def test_reproduce_paper(self, capsys):
         module = load_example("reproduce_paper")

@@ -366,8 +366,17 @@ class TestCliEngineFlags:
         assert "normalized to baseline" in captured.out
         assert "[2/2]" in captured.err
 
-    def test_workers_rejects_trace_out(self, tmp_path):
-        with pytest.raises(SystemExit, match="serial"):
-            main(["sweep", "stream", "--accesses", "600", "--warmup", "200",
-                  "--workers", "2", "--trace-out",
-                  str(tmp_path / "t.jsonl")])
+    def test_workers_shard_trace_out(self, tmp_path, capsys):
+        """--trace-out with --workers shards per job instead of rejecting."""
+        base = tmp_path / "t.jsonl"
+        assert main(["sweep", "stream", "--accesses", "600", "--warmup",
+                     "200", "--sizes", "1024,4096", "--workers", "2",
+                     "--trace-out", str(base)]) == 0
+        captured = capsys.readouterr()
+        assert "2 trace shard(s)" in captured.err
+        shards = sorted(tmp_path.glob("t.jsonl.*.jsonl"))
+        assert len(shards) == 2
+        for shard in shards:
+            first = json.loads(shard.read_text().splitlines()[0])
+            assert first["stage"] == "mark"
+            assert first["label"] == "run_start"

@@ -86,6 +86,62 @@ class TestHistogram:
         assert a.count == 3
         assert a.counts[2] == 2
 
+    def test_merge_disjoint_buckets(self):
+        a, b = Histogram("a"), Histogram("b")
+        a.record(1)              # bucket [1, 1]
+        b.record(1000)           # bucket [512, 1023]
+        a.merge(b)
+        assert a.count == 2
+        assert a.total == 1001
+        assert a.counts[1] == 1 and a.counts[10] == 1
+        # b is untouched by the merge.
+        assert b.count == 1 and b.counts[10] == 1
+
+    def test_merge_self_doubles(self):
+        h = Histogram("t")
+        for v in (3, 7, 200):
+            h.record(v)
+        h.merge(h)
+        assert h.count == 6
+        assert h.total == 2 * (3 + 7 + 200)
+        assert h.counts[2] == 2 and h.counts[3] == 2 and h.counts[8] == 2
+
+    def test_merge_empty_into_full(self):
+        full, empty = Histogram("full"), Histogram("empty")
+        full.record(42)
+        before = full.snapshot()
+        full.merge(empty)
+        assert full.snapshot() == before
+
+    def test_percentile_empty(self):
+        h = Histogram("t")
+        assert h.percentile(0) == 0
+        assert h.percentile(50) == 0
+        assert h.percentile(100) == 0
+
+    def test_percentile_bounds(self):
+        h = Histogram("t")
+        h.record(1)              # [1, 1]
+        h.record(1000)           # [512, 1023]
+        # p=0 clamps to the first non-empty bucket, p=100 to the last;
+        # out-of-range p behaves like the nearest bound.
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 1023
+        assert h.percentile(-5) == h.percentile(0)
+        assert h.percentile(250) == h.percentile(100)
+
+    def test_from_snapshot_round_trip(self):
+        h = Histogram("t")
+        for v in (0, 1, 5, 5, 300, 70_000):
+            h.record(v)
+        rebuilt = Histogram.from_snapshot("t", h.snapshot())
+        assert rebuilt.snapshot() == h.snapshot()
+        assert rebuilt.counts == h.counts
+
+    def test_from_snapshot_empty(self):
+        rebuilt = Histogram.from_snapshot("t", Histogram("t").snapshot())
+        assert rebuilt.count == 0 and rebuilt.total == 0
+
     def test_chart_renders(self):
         h = Histogram("t")
         for v in (4, 5, 6, 300):
@@ -159,6 +215,40 @@ class TestTracer:
         stages = {e.stage for e in tracer.events}
         assert "segment_walk" in stages
 
+    def test_events_for_groups_by_seq(self):
+        t = Tracer()
+        for seq in range(3):
+            t.begin_access(0, 1, 0x1000 + seq, False)
+            t.stage("filter_probe", cycles=0)
+            t.stage("cache", cycles=4 + seq)
+        events = list(t.events_for(1))
+        assert [e.stage for e in events] == ["filter_probe", "cache"]
+        assert all(e.seq == 1 for e in events)
+        assert events[1].cycles == 5
+        assert list(t.events_for(99)) == []
+
+    def test_events_for_tracks_ring_eviction(self):
+        t = Tracer(buffer_size=3)
+        for seq in range(4):
+            t.begin_access(0, 1, seq, False)
+            t.stage("cache", cycles=1)
+            t.stage("dram", cycles=2)
+        # Buffer holds the last 3 events: access 2's "dram" + access 3's
+        # pair; access 2's "cache" was evicted from its group.
+        assert [e.stage for e in t.events_for(2)] == ["dram"]
+        assert [e.stage for e in t.events_for(3)] == ["cache", "dram"]
+        assert list(t.events_for(0)) == []
+        groups = dict(t.accesses())
+        assert set(groups) == {2, 3}
+
+    def test_close_is_idempotent(self, tmp_path):
+        t = Tracer(sink=tmp_path / "t.jsonl")
+        t.mark("run_start")
+        with t:
+            pass                 # __exit__ closes once...
+        t.close()                # ...and an explicit second close is a no-op
+        assert t.closed
+
 
 class TestTracerParity:
     def test_results_identical_with_and_without_tracing(self):
@@ -208,6 +298,30 @@ class TestIntervals:
     def test_recorder_rejects_bad_interval(self):
         with pytest.raises(ValueError):
             IntervalRecorder(object(), object(), 0)
+
+    def test_series_missing_group_or_counter_is_zeroes(self):
+        class _Registry:
+            def snapshot(self):
+                return {"cache": {"hits": 0}}
+
+        class _Acct:
+            instructions = 0
+
+        class _Timing:
+            acct = _Acct()
+
+            def total_cycles(self):
+                return 0
+
+        recorder = IntervalRecorder(_Registry(), _Timing(), 2)
+        for _ in range(4):
+            recorder.tick()
+        recorder.finish()
+        assert len(recorder.snapshots) == 2
+        # A group or counter that never appeared yields an all-zero
+        # series of the right length, not a KeyError.
+        assert recorder.series("no_such_group", "hits") == [0, 0]
+        assert recorder.series("cache", "no_such_counter") == [0, 0]
 
 
 # --------------------------------------------------------------------- #
