@@ -33,6 +33,7 @@ from repro.bench.gate import (
     METRIC_DIRECTIONS,
     GateReport,
     MetricDelta,
+    attach_history,
     compare_baselines,
 )
 from repro.bench.suite import (
@@ -59,6 +60,7 @@ __all__ = [
     "METRIC_DIRECTIONS",
     "GateReport",
     "MetricDelta",
+    "attach_history",
     "compare_baselines",
     "DEFAULT_ACCESSES",
     "DEFAULT_SEED",

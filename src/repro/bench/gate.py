@@ -40,6 +40,11 @@ class MetricDelta:
     regressed: bool            # moved the bad way past the threshold
     improved: bool             # moved the good way past the threshold
     gated: bool                # participates in the exit-code verdict
+    #: Recorded values of this metric across prior ingested runs
+    #: (oldest → newest), filled by :func:`attach_history` when a
+    #: cross-run store is in play — the gate's one-baseline view,
+    #: widened to a trajectory.
+    history: Optional[List[float]] = None
 
     @property
     def status(self) -> str:
@@ -50,13 +55,16 @@ class MetricDelta:
         return "ok"
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "benchmark": self.benchmark, "metric": self.metric,
             "baseline": self.baseline, "current": self.current,
             "change_pct": self.change_pct, "regressed": self.regressed,
             "improved": self.improved, "gated": self.gated,
             "status": self.status,
         }
+        if self.history is not None:
+            doc["history"] = list(self.history)
+        return doc
 
 
 @dataclass
@@ -111,20 +119,68 @@ class GateReport:
         if self.baseline_sha or self.current_sha:
             lines += [f"baseline `{self.baseline_sha or 'unknown'}` → "
                       f"current `{self.current_sha or 'unknown'}`", ""]
-        lines += ["| benchmark | metric | baseline | current | Δ % | status |",
-                  "|---|---|---|---|---|---|"]
+        with_history = any(d.history for d in self.deltas)
+        header = "| benchmark | metric | baseline | current | Δ % | status |"
+        rule = "|---|---|---|---|---|---|"
+        if with_history:
+            header += " history |"
+            rule += "---|"
+        lines += [header, rule]
         for d in sorted(self.deltas,
                         key=lambda d: (not d.regressed, d.benchmark, d.metric)):
             change = ("inf" if math.isinf(d.change_pct)
                       else f"{d.change_pct:+.2f}")
-            lines.append(
-                f"| {d.benchmark} | {d.metric} | {d.baseline:.6g} "
-                f"| {d.current:.6g} | {change} | {d.status} |")
+            row = (f"| {d.benchmark} | {d.metric} | {d.baseline:.6g} "
+                   f"| {d.current:.6g} | {change} | {d.status} |")
+            if with_history:
+                row += (" " + _render_history(d.history) + " |"
+                        if d.history else " — |")
+            lines.append(row)
+        blank = " — |" if with_history else ""
         for name in self.missing:
-            lines.append(f"| {name} | — | — | — | — | missing from current |")
+            lines.append(
+                f"| {name} | — | — | — | — | missing from current |" + blank)
         for name in self.added:
-            lines.append(f"| {name} | — | — | — | — | new (no baseline) |")
+            lines.append(
+                f"| {name} | — | — | — | — | new (no baseline) |" + blank)
         return "\n".join(lines)
+
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _render_history(values: List[float]) -> str:
+    """Spark bar + oldest→newest values, the markdown history cell."""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    spark = "".join(
+        _SPARK_BLOCKS[int((v - lo) / span * (len(_SPARK_BLOCKS) - 1))]
+        if span else _SPARK_BLOCKS[0]
+        for v in values)
+    return f"{spark} " + "→".join(f"{v:.4g}" for v in values)
+
+
+def attach_history(report: GateReport, current: Dict[str, Any],
+                   store: Any, limit: int = 5) -> None:
+    """Annotate a report's deltas with cross-run history.
+
+    ``store`` is duck-typed on ``metric_history(workload, mmu, metric,
+    limit)`` (a :class:`repro.obs.store.MetricsStore`); benchmarks are
+    matched to store rows through the workload/MMU the ``current``
+    document records per entry.  Call this *before* ingesting the
+    current document, so the history shows only prior runs.
+    """
+    index = {entry.get("name"): entry
+             for entry in current.get("benchmarks", [])}
+    for delta in report.deltas:
+        entry = index.get(delta.benchmark)
+        if entry is None or "workload" not in entry:
+            continue
+        values = store.metric_history(entry["workload"],
+                                      entry.get("mmu", "-"),
+                                      delta.metric, limit=limit)
+        if values:
+            delta.history = values
 
 
 def _entry_index(doc: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:

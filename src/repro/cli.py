@@ -14,6 +14,8 @@ Subcommands:
   workload's address stream (``analyze`` remains as an alias);
 * ``bench``      — benchmark baselines: ``record`` / ``check`` /
   ``migrate`` (the regression gate);
+* ``db``         — the cross-run metrics store: ``ingest`` recorded
+  JSON documents into a SQLite history, ``query`` and ``trend`` it;
 * ``experiments``— map paper artifacts to their benchmark modules.
 
 ``run``/``compare``/``sweep``/``profile`` share the observability flags:
@@ -29,6 +31,15 @@ points are re-simulated.  With ``--workers N`` a ``--trace-out BASE``
 becomes a family of per-job shards (``BASE.<fingerprint>.jsonl``, each
 opened inside its worker); ``repro trace view BASE.*.jsonl`` merges
 them.  See ``docs/execution.md``.
+
+Live telemetry (``docs/observability.md``, "Live telemetry"): the same
+four subcommands take ``--live`` (in-place stderr status line fed by
+worker heartbeats: jobs done, throughput, ETA, stale workers),
+``--metrics-port N`` (a stdlib HTTP ``/metrics`` endpoint in Prometheus
+text format for the duration of the run; port 0 binds an ephemeral
+port, printed to stderr) and ``--metrics-out FILE`` (JSONL registry
+snapshots, appended periodically and once more after the deterministic
+end-of-plan fold).
 """
 
 from __future__ import annotations
@@ -38,10 +49,14 @@ import json
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.common.params import SystemConfig
 from repro.common.stats import mpki
 from repro.exec import ParallelExecutor, ResultCache, SerialExecutor
 from repro.obs.aggregate import PROFILE_SCHEMA, aggregate_results
+from repro.obs.heartbeat import (BeatSpec, HeartbeatMonitor, LiveStatus,
+                                 StaleWorker, open_beat_channel)
+from repro.obs.metrics import MetricsRegistry, MetricsServer, SnapshotLog
 from repro.obs.tracer import Tracer, TraceSpec
 from repro.obs.traceview import read_trace
 from repro.sim import (
@@ -60,7 +75,7 @@ from repro.sim.report import (
     markdown_table,
     series_table,
 )
-from repro.workloads import all_specs, analyze as analyze_trace, names, spec
+from repro.workloads import all_specs, analyze as analyze_trace, names
 
 EXPERIMENTS = (
     ("Table I", "benchmarks/test_table1_sharing.py",
@@ -147,17 +162,143 @@ def _cache(args) -> Optional[ResultCache]:
     return ResultCache(cache_dir) if cache_dir else None
 
 
-def _progress(args):
-    """Stderr progress callback — only when the engine flags are in play,
-    so default serial output stays byte-identical."""
-    if (getattr(args, "workers", None) or 1) <= 1 \
+class _ProgressReporter:
+    """Stderr progress lines plus a final one-line summary.
+
+    Per-job lines say what actually happened — ``ran`` (simulated),
+    ``cached`` (reused) or ``error`` — and once the last job resolves a
+    single summary line totals them.  Under ``--live`` the in-place
+    status line replaces the per-job lines and the summary is deferred
+    to telemetry teardown (after the live line's terminal newline).
+    """
+
+    _LABELS = {"ok": "ran", "cached": "cached", "error": "error"}
+
+    def __init__(self, live: Optional[LiveStatus] = None) -> None:
+        self.ran = 0
+        self.cached = 0
+        self.failed = 0
+        self._live = live
+        self._summarized = False
+
+    def __call__(self, done, total, job, status) -> None:
+        if status == "cached":
+            self.cached += 1
+        elif status == "error":
+            self.failed += 1
+        else:
+            self.ran += 1
+        if self._live is not None:
+            self._live.job_done(done, total, status)
+            self._live.update()
+        else:
+            print(f"[{done}/{total}] {job.workload_name}/{job.mmu} "
+                  f"{self._LABELS.get(status, status)}", file=sys.stderr)
+            if done == total:
+                self.summarize()
+
+    def summarize(self) -> None:
+        if self._summarized:
+            return
+        self._summarized = True
+        print(f"repro: {self.ran} ran, {self.cached} cached, "
+              f"{self.failed} failed", file=sys.stderr)
+
+
+def _progress(args, telemetry: "Optional[_Telemetry]" = None):
+    """Progress callback — engine flags or live telemetry turn it on;
+    the default serial path stays byte-identical with ``None``."""
+    live = telemetry.live_status if telemetry is not None else None
+    if live is None \
+            and (getattr(args, "workers", None) or 1) <= 1 \
             and not getattr(args, "cache_dir", None):
         return None
+    reporter = _ProgressReporter(live=live)
+    if telemetry is not None:
+        telemetry.reporter = reporter
+    return reporter
 
-    def report(done, total, job, status):
-        print(f"[{done}/{total}] {job.workload_name}/{job.mmu} {status}",
-              file=sys.stderr)
-    return report
+
+class _Telemetry:
+    """One lifecycle for ``--live`` / ``--metrics-port`` / ``--metrics-out``.
+
+    Inert (every attribute ``None``) unless one of the flags is set.
+    When active it owns the metrics registry, the heartbeat channel
+    (manager included under ``--workers``), the monitor thread, the
+    optional ``/metrics`` server and the optional JSONL snapshot log;
+    :meth:`finish` tears all of it down in the right order and appends
+    the final post-fold snapshot so the log always ends on the
+    deterministic end-of-plan state.
+    """
+
+    def __init__(self, args) -> None:
+        self.registry: Optional[MetricsRegistry] = None
+        self.beat: Optional[BeatSpec] = None
+        self.live_status: Optional[LiveStatus] = None
+        self.reporter: Optional[_ProgressReporter] = None
+        self._monitor: Optional[HeartbeatMonitor] = None
+        self._manager = None
+        self._server: Optional[MetricsServer] = None
+        self._log: Optional[SnapshotLog] = None
+        live = bool(getattr(args, "live", False))
+        port = getattr(args, "metrics_port", None)
+        out = getattr(args, "metrics_out", None)
+        self.active = live or port is not None or bool(out)
+        if not self.active:
+            return
+        self.registry = MetricsRegistry()
+        queue, self._manager = open_beat_channel(
+            parallel=(getattr(args, "workers", None) or 1) > 1)
+        self.beat = BeatSpec(queue=queue)
+        if live:
+            self.live_status = LiveStatus()
+        if out:
+            try:
+                self._log = SnapshotLog(out)
+            except OSError as exc:
+                raise SystemExit(
+                    f"repro: cannot open metrics log {out!r}: {exc}")
+        self._monitor = HeartbeatMonitor(
+            queue, registry=self.registry, on_stale=self._report_stale,
+            live=self.live_status, snapshot_log=self._log)
+        if port is not None:
+            try:
+                self._server = MetricsServer(self.registry,
+                                             port=port).start()
+            except OSError as exc:
+                raise SystemExit(
+                    f"repro: cannot serve /metrics on port {port}: {exc}")
+            print(f"repro: serving /metrics on "
+                  f"http://{self._server.host}:{self._server.port}/metrics",
+                  file=sys.stderr)
+        self._monitor.start()
+
+    def _report_stale(self, finding: StaleWorker) -> None:
+        status = finding.status
+        print(f"\nrepro: stale worker: {status.workload}/{status.mmu} "
+              f"({status.job[:12]}, pid {status.pid}) silent for "
+              f"{finding.silent_s:.0f}s at "
+              f"{status.done}/{status.total} accesses", file=sys.stderr)
+
+    def finish(self) -> None:
+        """Stop the monitor, close the channel, flush the final state."""
+        if not self.active:
+            return
+        if self._monitor is not None:
+            self._monitor.stop()
+        if self.live_status is not None:
+            self.live_status.finish(self._monitor)
+        if self.reporter is not None and self.live_status is not None:
+            self.reporter.summarize()
+        if self._log is not None:
+            self._log.append(self.registry)
+            print(f"repro: {self._log.appended} metrics snapshot(s) "
+                  f"appended", file=sys.stderr)
+            self._log.close()
+        if self._server is not None:
+            self._server.close()
+        if self._manager is not None:
+            self._manager.shutdown()
 
 
 def _json_interval(args) -> Optional[int]:
@@ -202,6 +343,7 @@ def cmd_configs(_args) -> None:
 
 
 def cmd_run(args) -> None:
+    telemetry = _Telemetry(args)
     tracer, trace_spec = _trace_setup(args)
     try:
         result = run_workload(args.workload, args.config,
@@ -210,9 +352,12 @@ def cmd_run(args) -> None:
                               interval=_json_interval(args), tracer=tracer,
                               trace_spec=trace_spec,
                               executor=_executor(args), cache=_cache(args),
-                              progress=_progress(args))
+                              progress=_progress(args, telemetry),
+                              metrics=telemetry.registry,
+                              beat=telemetry.beat)
     finally:
         _finish_trace(tracer, trace_spec)
+        telemetry.finish()
     if args.json:
         doc = result.to_json_dict()
         doc["config"] = args.config
@@ -234,6 +379,7 @@ def cmd_run(args) -> None:
 
 def cmd_compare(args) -> None:
     configs = args.configs.split(",") if args.configs else list(MMU_CONFIGS)
+    telemetry = _Telemetry(args)
     tracer, trace_spec = _trace_setup(args)
     try:
         row = compare_configs(args.workload, mmu_names=configs,
@@ -242,9 +388,12 @@ def cmd_compare(args) -> None:
                               interval=_json_interval(args), tracer=tracer,
                               trace_spec=trace_spec,
                               executor=_executor(args), cache=_cache(args),
-                              progress=_progress(args))
+                              progress=_progress(args, telemetry),
+                              metrics=telemetry.registry,
+                              beat=telemetry.beat)
     finally:
         _finish_trace(tracer, trace_spec)
+        telemetry.finish()
     normalized = row.normalized(configs[0])
     if args.json:
         print(json.dumps({"schema": "repro.compare/v1",
@@ -261,6 +410,7 @@ def cmd_compare(args) -> None:
 
 def cmd_sweep(args) -> None:
     sizes = [int(s) for s in args.sizes.split(",")]
+    telemetry = _Telemetry(args)
     tracer, trace_spec = _trace_setup(args)
     try:
         results = sweep_delayed_tlb(args.workload, sizes,
@@ -270,9 +420,12 @@ def cmd_sweep(args) -> None:
                                     tracer=tracer, trace_spec=trace_spec,
                                     executor=_executor(args),
                                     cache=_cache(args),
-                                    progress=_progress(args))
+                                    progress=_progress(args, telemetry),
+                                    metrics=telemetry.registry,
+                                    beat=telemetry.beat)
     finally:
         _finish_trace(tracer, trace_spec)
+        telemetry.finish()
     mpkis = [r.tlb_mpki() for r in results]
     if args.json:
         print(json.dumps({"schema": "repro.sweep/v1",
@@ -300,6 +453,7 @@ def cmd_profile(args) -> None:
     if getattr(args, "sizes", None):
         _profile_sweep(args)
         return
+    telemetry = _Telemetry(args)
     tracer, trace_spec = _trace_setup(args)
     try:
         result = run_workload(args.workload, args.config,
@@ -308,9 +462,12 @@ def cmd_profile(args) -> None:
                               interval=args.interval or max(1, args.accesses // 10),
                               tracer=tracer, trace_spec=trace_spec,
                               executor=_executor(args), cache=_cache(args),
-                              progress=_progress(args))
+                              progress=_progress(args, telemetry),
+                              metrics=telemetry.registry,
+                              beat=telemetry.beat)
     finally:
         _finish_trace(tracer, trace_spec)
+        telemetry.finish()
     if args.json:
         doc = result.to_json_dict()
         doc["config"] = args.config
@@ -353,6 +510,7 @@ PROFILE_SWEEP_FIELD = "delayed_tlb.entries"
 def _profile_sweep(args) -> None:
     """``profile --sizes``: aggregated sweep over delayed-TLB entries."""
     sizes = [int(s) for s in args.sizes.split(",")]
+    telemetry = _Telemetry(args)
     tracer, trace_spec = _trace_setup(args)
     try:
         by_size = sweep_config(args.workload, args.config,
@@ -364,9 +522,12 @@ def _profile_sweep(args) -> None:
                                or max(1, args.accesses // 10),
                                tracer=tracer, trace_spec=trace_spec,
                                executor=_executor(args), cache=_cache(args),
-                               progress=_progress(args))
+                               progress=_progress(args, telemetry),
+                               metrics=telemetry.registry,
+                               beat=telemetry.beat)
     finally:
         _finish_trace(tracer, trace_spec)
+        telemetry.finish()
     results = [by_size[size] for size in sizes]
     aggregate = aggregate_results(results)
     if args.json:
@@ -545,6 +706,13 @@ def cmd_bench(args) -> Optional[int]:
     report = bench.compare_baselines(
         baseline, current, threshold_pct=args.threshold,
         seconds_threshold_pct=args.seconds_threshold)
+    if getattr(args, "db", None):
+        from repro.obs.store import MetricsStore
+
+        with MetricsStore(args.db) as store:
+            # History first (prior runs only), then record this run.
+            bench.attach_history(report, current, store)
+            store.ingest(current, source="bench check")
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(report.to_markdown() + "\n")
@@ -559,6 +727,60 @@ def cmd_bench(args) -> Optional[int]:
     return 0 if report.ok else 1
 
 
+def cmd_db(args) -> Optional[int]:
+    """``repro db ingest|query|trend`` — the cross-run metrics store."""
+    from repro.obs.store import MetricsStore, format_runs, format_trend
+
+    with MetricsStore(args.db) as store:
+        if args.db_command == "ingest":
+            status = 0
+            total = 0
+            for path in args.files:
+                try:
+                    with open(path, encoding="utf-8") as handle:
+                        doc = json.load(handle)
+                    keys = store.ingest(doc, source=path)
+                except (OSError, ValueError, json.JSONDecodeError) as exc:
+                    print(f"repro: {path}: {exc}", file=sys.stderr)
+                    status = 1
+                    continue
+                total += len(keys)
+                print(f"{path}: {len(keys)} run(s)")
+            print(f"ingested {total} run(s) -> {args.db} "
+                  f"({len(store)} total)")
+            return status
+
+        if args.db_command == "query":
+            rows = store.query(workload=args.workload, mmu=args.mmu,
+                               metric=args.metric)
+            if args.json:
+                print(json.dumps([{
+                    "run_key": r.run_key, "workload": r.workload,
+                    "mmu": r.mmu, "package_version": r.package_version,
+                    "started_at": r.started_at, "source": r.source,
+                    "metrics": r.metrics} for r in rows], indent=2))
+            else:
+                print(format_runs(rows, metric=args.metric))
+            return None
+
+        # trend
+        if args.metric is None:
+            names_known = store.metric_names()
+            raise SystemExit("repro: db trend needs --metric; recorded: "
+                             + (", ".join(names_known) or "(none)"))
+        history = store.trend(args.metric, workload=args.workload,
+                              mmu=args.mmu, limit=args.limit)
+        if args.json:
+            print(json.dumps([{
+                "run_key": run.run_key, "workload": run.workload,
+                "mmu": run.mmu, "value": value,
+                "started_at": run.started_at} for run, value in history],
+                indent=2))
+        else:
+            print(format_trend(history, args.metric))
+        return None
+
+
 def cmd_experiments(_args) -> None:
     print(markdown_table(["artifact", "benchmark", "what it shows"],
                          EXPERIMENTS))
@@ -569,6 +791,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Hybrid virtual caching (ISCA 2016) reproduction")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("workloads", help="list the workload catalog")
@@ -601,9 +825,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reuse fingerprint-keyed results from DIR; "
                             "only changed points are re-simulated")
 
+    def add_telemetry(p):
+        p.add_argument("--live", action="store_true",
+                       help="in-place stderr status line fed by worker "
+                            "heartbeats (throughput, ETA, stale workers)")
+        p.add_argument("--metrics-port", type=int, dest="metrics_port",
+                       metavar="PORT",
+                       help="serve Prometheus text format on "
+                            "http://127.0.0.1:PORT/metrics for the "
+                            "duration of the run (0 = ephemeral port)")
+        p.add_argument("--metrics-out", dest="metrics_out", metavar="FILE",
+                       help="append JSONL registry snapshots to FILE "
+                            "(last line = deterministic end-of-plan state)")
+
     run_parser = sub.add_parser("run", help="simulate one configuration")
     add_common(run_parser)
     add_exec(run_parser)
+    add_telemetry(run_parser)
     run_parser.add_argument("config",
                             choices=MMU_CONFIGS + PRIOR_CONFIGS)
     run_parser.add_argument("--delayed-entries", type=int,
@@ -616,6 +854,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "or the merged aggregate of a --sizes sweep.")
     add_common(profile_parser)
     add_exec(profile_parser)
+    add_telemetry(profile_parser)
     profile_parser.add_argument("config",
                                 choices=MMU_CONFIGS + PRIOR_CONFIGS)
     profile_parser.add_argument("--delayed-entries", type=int,
@@ -629,12 +868,14 @@ def build_parser() -> argparse.ArgumentParser:
                                     help="compare configurations")
     add_common(compare_parser)
     add_exec(compare_parser)
+    add_telemetry(compare_parser)
     compare_parser.add_argument("--configs",
                                 help="comma-separated configuration names")
 
     sweep_parser = sub.add_parser("sweep", help="delayed-TLB size sweep")
     add_common(sweep_parser)
     add_exec(sweep_parser)
+    add_telemetry(sweep_parser)
     sweep_parser.add_argument("--sizes", default="1024,4096,16384,65536")
 
     trace_parser = sub.add_parser(
@@ -709,10 +950,47 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument("--json", action="store_true",
                               help="print the JSON report to stdout "
                                    "instead of markdown")
+    check_parser.add_argument("--db", metavar="FILE",
+                              help="cross-run metrics store: annotate the "
+                                   "report with each metric's recorded "
+                                   "history, then ingest this run")
     add_exec(check_parser)
     migrate_parser = bench_sub.add_parser(
         "migrate", help="rewrite v1 baseline files in the v2 layout")
     migrate_parser.add_argument("files", nargs="+", metavar="FILE")
+
+    db_parser = sub.add_parser(
+        "db", help="cross-run metrics store: ingest, query, trend")
+    db_sub = db_parser.add_subparsers(dest="db_command", required=True)
+    ingest_parser = db_sub.add_parser(
+        "ingest", help="ingest recorded JSON documents into the store",
+        description="Ingest repro.result/v1, repro.compare/v1, "
+                    "repro.sweep/v1 or repro.bench/v2 documents; "
+                    "re-ingesting the same run upserts (run keys are "
+                    "deterministic).")
+    ingest_parser.add_argument("--db", required=True, metavar="FILE",
+                               help="SQLite store (created if missing)")
+    ingest_parser.add_argument("files", nargs="+", metavar="JSON")
+    query_parser = db_sub.add_parser(
+        "query", help="list ingested runs and their metrics")
+    query_parser.add_argument("--db", required=True, metavar="FILE")
+    query_parser.add_argument("--workload", help="filter by workload")
+    query_parser.add_argument("--mmu", help="filter by MMU configuration")
+    query_parser.add_argument("--metric", metavar="NAME",
+                              help="show only this metric (drops runs "
+                                   "that never recorded it)")
+    query_parser.add_argument("--json", action="store_true")
+    trend_parser = db_sub.add_parser(
+        "trend", help="one metric's history across ingested runs")
+    trend_parser.add_argument("--db", required=True, metavar="FILE")
+    trend_parser.add_argument("--metric", metavar="NAME",
+                              help="metric name (see `db query`)")
+    trend_parser.add_argument("--workload", help="filter by workload")
+    trend_parser.add_argument("--mmu", help="filter by MMU configuration")
+    trend_parser.add_argument("--limit", type=_positive_int, default=None,
+                              metavar="N",
+                              help="only the last N runs")
+    trend_parser.add_argument("--json", action="store_true")
     return parser
 
 
@@ -725,6 +1003,7 @@ HANDLERS = {
     "profile": cmd_profile,
     "trace": cmd_trace,
     "bench": cmd_bench,
+    "db": cmd_db,
     "analyze": cmd_analyze,
     "experiments": cmd_experiments,
 }

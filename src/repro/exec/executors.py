@@ -20,6 +20,13 @@ process (serial) execution, while a picklable
 shards — each worker opens ``<base>.<fingerprint>.jsonl`` itself, writes
 a ``run_start`` mark, records its own job, and closes.  The shard set of
 a parallel run is identical to that of a serial run of the same plan.
+
+Live progress crosses the same boundary via a
+:class:`~repro.obs.heartbeat.BeatSpec`: the worker builds a per-job
+:class:`~repro.obs.heartbeat.HeartbeatPulse` from it, the simulator
+fires the pulse every N timed accesses, and a terminal beat is emitted
+when the job returns — whether it succeeded or not, so the parent's
+monitor always sees closure.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Union
 from repro.exec.job import Job, JobError
 
 if TYPE_CHECKING:
+    from repro.obs.heartbeat import BeatSpec
     from repro.obs.tracer import Tracer, TraceSpec
     from repro.sim.results import SimulationResult
 
@@ -48,22 +56,33 @@ def _mark_run_start(tracer: "Optional[Tracer]", job: Job) -> None:
 
 
 def run_job(job: Job, tracer: "Optional[Tracer]" = None,
-            trace_spec: "Optional[TraceSpec]" = None) -> Outcome:
+            trace_spec: "Optional[TraceSpec]" = None,
+            beat: "Optional[BeatSpec]" = None) -> Outcome:
     """Run one job, capturing any failure as a :class:`JobError`.
 
     Module-level so :class:`ParallelExecutor` can pickle it into worker
     processes.  With a ``trace_spec``, the job records into its own
     shard — opened here, inside whichever process runs the job, and
     closed before the outcome is returned — bracketed by a ``run_start``
-    mark so every shard is a self-describing single-run trace.
+    mark so every shard is a self-describing single-run trace.  With a
+    ``beat``, the job pushes periodic heartbeats plus one terminal beat
+    (success or failure) over the spec's queue.
     """
+    pulse = beat.pulse_for(job) if beat is not None else None
     if trace_spec is not None:
         tracer = trace_spec.open(job.fingerprint())
         tracer.mark("run_start", **job.mark_detail())
     try:
-        return job.run(tracer=tracer)
+        result = job.run(tracer=tracer, pulse=pulse)
     except Exception as exc:
+        if pulse is not None:
+            pulse.finish(0, 0, 0.0, ok=False)
         return JobError.from_exception(job, exc)
+    else:
+        if pulse is not None:
+            pulse.finish(result.accesses, result.instructions,
+                         result.cycles, ok=True)
+        return result
     finally:
         if trace_spec is not None and tracer is not None:
             tracer.close()
@@ -83,14 +102,15 @@ class SerialExecutor:
 
     def run(self, jobs: Sequence[Job], tracer: "Optional[Tracer]" = None,
             on_done: Optional[JobCallback] = None,
-            trace_spec: "Optional[TraceSpec]" = None) -> List[Outcome]:
+            trace_spec: "Optional[TraceSpec]" = None,
+            beat: "Optional[BeatSpec]" = None) -> List[Outcome]:
         outcomes: List[Outcome] = []
         for job in jobs:
             if trace_spec is None:
                 _mark_run_start(tracer, job)   # shards self-describe
             self.submitted += 1
             outcome = run_job(job, tracer=None if trace_spec else tracer,
-                              trace_spec=trace_spec)
+                              trace_spec=trace_spec, beat=beat)
             outcomes.append(outcome)
             if on_done is not None:
                 on_done(job, outcome)
@@ -115,7 +135,8 @@ class ParallelExecutor:
 
     def run(self, jobs: Sequence[Job], tracer: "Optional[Tracer]" = None,
             on_done: Optional[JobCallback] = None,
-            trace_spec: "Optional[TraceSpec]" = None) -> List[Outcome]:
+            trace_spec: "Optional[TraceSpec]" = None,
+            beat: "Optional[BeatSpec]" = None) -> List[Outcome]:
         jobs = list(jobs)
         if not jobs:
             return []
@@ -128,7 +149,8 @@ class ParallelExecutor:
                     _mark_run_start(tracer, job)   # shards self-describe
                 self.submitted += 1
                 futures[pool.submit(run_job, job,
-                                    trace_spec=trace_spec)] = index
+                                    trace_spec=trace_spec,
+                                    beat=beat)] = index
             for future in concurrent.futures.as_completed(futures):
                 index = futures[future]
                 job = jobs[index]

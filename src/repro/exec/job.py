@@ -95,12 +95,15 @@ class Job:
         detail.update(dict(self.tags))
         return detail
 
-    def run(self, tracer: "Optional[Tracer]" = None) -> "SimulationResult":
+    def run(self, tracer: "Optional[Tracer]" = None,
+            pulse=None) -> "SimulationResult":
         """Execute this job on a fresh kernel (one independent system).
 
         ``baseline_thp`` runs on a transparent-huge-page kernel (2 MB-
         aligned eager allocations); every other configuration uses the
-        standard one.
+        standard one.  ``pulse`` is the simulator's periodic-progress
+        hook (see :class:`~repro.obs.heartbeat.HeartbeatPulse`); it
+        reports, never influences, the simulated outcome.
         """
         from repro.osmodel.kernel import Kernel
         from repro.sim.runner import build_mmu, lay_out
@@ -114,7 +117,7 @@ class Job:
         return Simulator(mmu).run(
             laid_out, self.accesses, warmup=self.warmup, seed=self.seed,
             reset_stats_after_warmup=self.reset_stats_after_warmup,
-            interval=self.interval, tracer=tracer)
+            interval=self.interval, tracer=tracer, pulse=pulse)
 
 
 @dataclass(frozen=True)

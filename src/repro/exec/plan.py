@@ -20,6 +20,8 @@ from repro.exec.job import Job, JobError, JobFailedError
 
 if TYPE_CHECKING:
     from repro.exec.cache import ResultCache
+    from repro.obs.heartbeat import BeatSpec
+    from repro.obs.metrics import MetricsRegistry
     from repro.obs.tracer import Tracer, TraceSpec
     from repro.sim.results import SimulationResult
 
@@ -104,7 +106,9 @@ class ExperimentPlan:
     def run(self, executor=None, cache: "Optional[ResultCache]" = None,
             tracer: "Optional[Tracer]" = None,
             progress: Optional[ProgressCallback] = None,
-            trace_spec: "Optional[TraceSpec]" = None) -> PlanResults:
+            trace_spec: "Optional[TraceSpec]" = None,
+            metrics: "Optional[MetricsRegistry]" = None,
+            beat: "Optional[BeatSpec]" = None) -> PlanResults:
         """Execute every unique job and return their outcomes.
 
         Cache hits are resolved first and never reach the executor, so a
@@ -116,22 +120,30 @@ class ExperimentPlan:
         its own shard, which also works under a parallel executor (the
         shard is opened inside the worker).  Cache hits produce no trace
         either way — nothing was simulated.
+
+        ``beat`` streams live heartbeats from whichever process runs a
+        job; ``metrics`` receives the plan's **final** state via
+        :func:`~repro.obs.metrics.fold_plan` once every outcome is in —
+        a deterministic fold in plan order, so the end-of-plan registry
+        snapshot is byte-identical between serial and parallel
+        execution (live heartbeat gauges are wiped by the fold).
         """
         executor = executor or SerialExecutor()
         total = len(self._jobs)
         outcomes: Dict[str, Outcome] = {}
         pending: List[Job] = []
+        cached_fingerprints: List[str] = []
         done = 0
         for fingerprint, job in self._jobs.items():
             hit = cache.load(job) if cache is not None else None
             if hit is not None:
                 outcomes[fingerprint] = hit
+                cached_fingerprints.append(fingerprint)
                 done += 1
                 if progress is not None:
                     progress(done, total, job, "cached")
             else:
                 pending.append(job)
-        cached = done
 
         def on_done(job: Job, outcome: Outcome) -> None:
             nonlocal done
@@ -144,6 +156,11 @@ class ExperimentPlan:
                          "error" if isinstance(outcome, JobError) else "ok")
 
         executor.run(pending, tracer=tracer, on_done=on_done,
-                     trace_spec=trace_spec)
+                     trace_spec=trace_spec, beat=beat)
+        if metrics is not None and metrics.enabled:
+            from repro.obs.metrics import fold_plan
+
+            fold_plan(metrics, self._jobs.values(), outcomes,
+                      cached_fingerprints)
         return PlanResults({fp: outcomes[fp] for fp in self._jobs},
-                           cached=cached)
+                           cached=len(cached_fingerprints))

@@ -17,13 +17,29 @@ The simulator's aggregate counters answer *how many*; this package answers
   hit-level mix, top-N slowest accesses).
 * :mod:`repro.obs.aggregate` — plan-level merge of per-job histograms
   and interval series, so parallel profiles equal serial ones.
+* :mod:`repro.obs.metrics`   — live telemetry: a thread-safe labeled
+  metrics registry with Prometheus text exposition, JSONL snapshot
+  logging, and an optional stdlib ``/metrics`` HTTP endpoint.
+* :mod:`repro.obs.heartbeat` — worker heartbeats over a queue, the
+  parent-side monitor with stale-worker detection, and the ``--live``
+  status line.
+* :mod:`repro.obs.store`     — the cross-run SQLite store behind
+  ``repro db``: every ingested run's manifest and final metrics,
+  queryable and trendable across history.
 """
 
 from repro.obs.aggregate import ProfileAggregate, aggregate_results
 from repro.obs.events import STAGES, TraceEvent
+from repro.obs.heartbeat import (BeatSpec, Heartbeat, HeartbeatMonitor,
+                                 HeartbeatPulse, LiveStatus, StaleWorker,
+                                 WorkerStatus, open_beat_channel)
 from repro.obs.histogram import Histogram
 from repro.obs.interval import IntervalRecorder
 from repro.obs.manifest import RunManifest, config_fingerprint
+from repro.obs.metrics import (NULL_METRICS, MetricsRegistry, MetricsServer,
+                               NullMetrics, SnapshotLog, fold_plan,
+                               fold_result, render_prometheus)
+from repro.obs.store import MetricsStore
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, TraceSpec
 from repro.obs.traceview import (AccessRecord, RunSummary, TraceView,
                                  combine_summaries, read_trace)
@@ -46,4 +62,21 @@ __all__ = [
     "read_trace",
     "ProfileAggregate",
     "aggregate_results",
+    "MetricsRegistry",
+    "MetricsServer",
+    "NullMetrics",
+    "NULL_METRICS",
+    "SnapshotLog",
+    "render_prometheus",
+    "fold_plan",
+    "fold_result",
+    "BeatSpec",
+    "Heartbeat",
+    "HeartbeatMonitor",
+    "HeartbeatPulse",
+    "LiveStatus",
+    "StaleWorker",
+    "WorkerStatus",
+    "open_beat_channel",
+    "MetricsStore",
 ]

@@ -39,6 +39,8 @@ from repro.common.params import SystemConfig
 from repro.exec.cache import ResultCache
 from repro.exec.job import Job
 from repro.exec.plan import ExperimentPlan, ProgressCallback
+from repro.obs.heartbeat import BeatSpec
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer, TraceSpec
 from repro.core.conventional import ConventionalMmu
 from repro.core.hybrid import HybridMmu
@@ -102,7 +104,9 @@ def run_workload(workload: Union[str, WorkloadSpec], mmu_name: str,
                  trace_spec: Optional[TraceSpec] = None,
                  executor=None,
                  cache: Optional[ResultCache] = None,
-                 progress: Optional[ProgressCallback] = None
+                 progress: Optional[ProgressCallback] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 beat: Optional[BeatSpec] = None
                  ) -> SimulationResult:
     """Simulate one (workload, MMU) point on a fresh system.
 
@@ -115,7 +119,8 @@ def run_workload(workload: Union[str, WorkloadSpec], mmu_name: str,
               accesses=accesses, warmup=warmup, seed=seed, interval=interval)
     results = ExperimentPlan([job]).run(executor=executor, cache=cache,
                                         tracer=tracer, progress=progress,
-                                        trace_spec=trace_spec)
+                                        trace_spec=trace_spec,
+                                        metrics=metrics, beat=beat)
     return results.result(job)
 
 
@@ -129,7 +134,9 @@ def compare_configs(workload: Union[str, WorkloadSpec],
                     trace_spec: Optional[TraceSpec] = None,
                     executor=None,
                     cache: Optional[ResultCache] = None,
-                    progress: Optional[ProgressCallback] = None
+                    progress: Optional[ProgressCallback] = None,
+                    metrics: Optional[MetricsRegistry] = None,
+                    beat: Optional[BeatSpec] = None
                     ) -> ComparisonRow:
     """Run one workload under several MMU configurations.
 
@@ -147,7 +154,8 @@ def compare_configs(workload: Union[str, WorkloadSpec],
             for mmu_name in mmu_names}
     plan = ExperimentPlan(jobs.values())
     outcomes = plan.run(executor=executor, cache=cache, tracer=tracer,
-                        progress=progress, trace_spec=trace_spec)
+                        progress=progress, trace_spec=trace_spec,
+                        metrics=metrics, beat=beat)
     results: Dict[str, SimulationResult] = {
         mmu_name: outcomes.result(job) for mmu_name, job in jobs.items()}
     return ComparisonRow(name, results)
@@ -162,7 +170,9 @@ def sweep_delayed_tlb(workload: Union[str, WorkloadSpec],
                       trace_spec: Optional[TraceSpec] = None,
                       executor=None,
                       cache: Optional[ResultCache] = None,
-                      progress: Optional[ProgressCallback] = None
+                      progress: Optional[ProgressCallback] = None,
+                      metrics: Optional[MetricsRegistry] = None,
+                      beat: Optional[BeatSpec] = None
                       ) -> List[SimulationResult]:
     """Figure 4 helper: hybrid+delayed-TLB across TLB sizes."""
     jobs = [Job(workload=workload, mmu="hybrid_tlb",
@@ -173,5 +183,6 @@ def sweep_delayed_tlb(workload: Union[str, WorkloadSpec],
             for entries in entry_counts]
     plan = ExperimentPlan(jobs)
     outcomes = plan.run(executor=executor, cache=cache, tracer=tracer,
-                        progress=progress, trace_spec=trace_spec)
+                        progress=progress, trace_spec=trace_spec,
+                        metrics=metrics, beat=beat)
     return [outcomes.result(job) for job in jobs]

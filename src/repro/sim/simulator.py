@@ -43,7 +43,8 @@ class Simulator:
             warmup: int = 0, seed: Optional[int] = None,
             reset_stats_after_warmup: bool = False,
             interval: Optional[int] = None,
-            tracer: Optional[Tracer] = None) -> SimulationResult:
+            tracer: Optional[Tracer] = None,
+            pulse=None) -> SimulationResult:
         """Simulate ``accesses`` timed references after ``warmup`` untimed ones.
 
         With ``reset_stats_after_warmup`` the structure counters are
@@ -56,6 +57,13 @@ class Simulator:
         of every counter, yielding ``ceil(accesses / interval)`` windows.
         ``tracer`` overrides the one given at construction; tracing never
         alters simulated behavior, only records it.
+
+        ``pulse`` is the live-telemetry hook: a callable with an
+        ``every`` attribute (e.g. :class:`~repro.obs.heartbeat.
+        HeartbeatPulse`) invoked as ``pulse(done, total, instructions,
+        cycles)`` every ``pulse.every`` timed accesses.  The disabled
+        path costs one branch per timed access; pulses themselves are
+        rare, so live progress never perturbs the simulation.
         """
         spec = workload.spec
         timing = self.timing or TimingModel(self.mmu.config.core, mlp=spec.mlp)
@@ -67,6 +75,9 @@ class Simulator:
             self.mmu.attach_tracer(tracer)
         recorder = (IntervalRecorder(self.mmu.stats, timing, interval)
                     if interval else None)
+        pulse_every = getattr(pulse, "every", 0) if pulse is not None else 0
+        pulsing = pulse_every > 0
+        pulse_countdown = pulse_every
         started_at = datetime.now(timezone.utc).isoformat()
         t0 = time.perf_counter()
 
@@ -84,6 +95,12 @@ class Simulator:
                 timing.record(outcome, instructions_between=1 + record.gap)
                 if recorder is not None:
                     recorder.tick()
+                if pulsing:
+                    pulse_countdown -= 1
+                    if pulse_countdown == 0:
+                        pulse_countdown = pulse_every
+                        pulse(i - warmup + 1, accesses,
+                              timing.acct.instructions, timing.total_cycles())
 
         if recorder is not None:
             recorder.finish()

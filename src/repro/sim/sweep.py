@@ -29,6 +29,8 @@ from repro.common.params import SystemConfig
 from repro.exec.cache import ResultCache
 from repro.exec.job import Job
 from repro.exec.plan import ExperimentPlan, ProgressCallback
+from repro.obs.heartbeat import BeatSpec
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer, TraceSpec
 from repro.sim.results import SimulationResult
 from repro.workloads.spec import WorkloadSpec
@@ -71,7 +73,9 @@ def sweep_config(workload: Union[str, WorkloadSpec], mmu_name: str,
                  trace_spec: Optional[TraceSpec] = None,
                  executor=None,
                  cache: Optional[ResultCache] = None,
-                 progress: Optional[ProgressCallback] = None
+                 progress: Optional[ProgressCallback] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 beat: Optional[BeatSpec] = None
                  ) -> Dict[Any, SimulationResult]:
     """Run ``workload`` under ``mmu_name`` for each value of one field."""
     base = base_config or SystemConfig()
@@ -83,7 +87,8 @@ def sweep_config(workload: Union[str, WorkloadSpec], mmu_name: str,
             for value in values}
     plan = ExperimentPlan(jobs.values())
     outcomes = plan.run(executor=executor, cache=cache, tracer=tracer,
-                        progress=progress, trace_spec=trace_spec)
+                        progress=progress, trace_spec=trace_spec,
+                        metrics=metrics, beat=beat)
     return {value: outcomes.result(job) for value, job in jobs.items()}
 
 
@@ -97,7 +102,9 @@ def sweep_grid(workload: Union[str, WorkloadSpec], mmu_name: str,
                trace_spec: Optional[TraceSpec] = None,
                executor=None,
                cache: Optional[ResultCache] = None,
-               progress: Optional[ProgressCallback] = None
+               progress: Optional[ProgressCallback] = None,
+               metrics: Optional[MetricsRegistry] = None,
+               beat: Optional[BeatSpec] = None
                ) -> List[Dict[str, Any]]:
     """Cartesian-product sweep over several fields.
 
@@ -118,6 +125,7 @@ def sweep_grid(workload: Union[str, WorkloadSpec], mmu_name: str,
         plan.add(job)
         points.append((params, job))
     outcomes = plan.run(executor=executor, cache=cache, tracer=tracer,
-                        progress=progress, trace_spec=trace_spec)
+                        progress=progress, trace_spec=trace_spec,
+                        metrics=metrics, beat=beat)
     return [{"params": params, "result": outcomes.result(job)}
             for params, job in points]

@@ -95,6 +95,16 @@ class TestExamplesRun:
         assert "cycle attribution per run" in out
         assert "slowest accesses" in out
 
+    def test_live_telemetry(self, capsys):
+        module = load_example("live_telemetry")
+        shrink(module, ACCESSES=800, WARMUP=200, WORKERS=2)
+        module.main()
+        out = capsys.readouterr().out
+        assert "metric families" in out
+        assert "byte-identical exposition: True" in out
+        assert "ingested 3 run(s)" in out
+        assert "ipc:" in out
+
     def test_bench_gate(self, capsys):
         module = load_example("bench_gate")
         shrink(module, ACCESSES=600, WARMUP=200)
