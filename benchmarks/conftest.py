@@ -81,8 +81,17 @@ def report():
         (results_dir / "latest.txt").write_text("\n".join(lines) + "\n")
     if lines or _TIMINGS:
         results_dir.mkdir(exist_ok=True)
-        save_baseline(make_baseline(_TIMINGS, artifact_lines=lines),
-                      results_dir / "latest.json")
+        doc = make_baseline(_TIMINGS, artifact_lines=lines)
+        save_baseline(doc, results_dir / "latest.json")
+        # The human-facing twin: the same document folded into the
+        # self-contained HTML report (scorecard + baseline section).
+        from repro.report import ReportBundle, build_report
+
+        bundle = ReportBundle()
+        bundle.add_doc(doc, source="benchmarks/results/latest.json")
+        (results_dir / "latest.html").write_text(
+            build_report(bundle, title="Benchmark session report"),
+            encoding="utf-8")
 
 
 def emit(report, text: str) -> None:

@@ -103,6 +103,14 @@ class GateReport:
             "added": list(self.added),
         }
 
+    def to_html(self) -> str:
+        """This report as a standalone self-contained HTML page (the
+        ``repro report bench`` rendering — inline CSS/SVG, no external
+        references)."""
+        from repro.report import build_bench_report_page
+
+        return build_bench_report_page(self.to_json_dict())
+
     def to_markdown(self) -> str:
         verdict = ("PASS" if self.ok
                    else f"FAIL — {len(self.regressions)} regression(s)")
@@ -146,18 +154,16 @@ class GateReport:
         return "\n".join(lines)
 
 
-_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
-
-
 def _render_history(values: List[float]) -> str:
-    """Spark bar + oldest→newest values, the markdown history cell."""
-    lo, hi = min(values), max(values)
-    span = hi - lo
-    spark = "".join(
-        _SPARK_BLOCKS[int((v - lo) / span * (len(_SPARK_BLOCKS) - 1))]
-        if span else _SPARK_BLOCKS[0]
-        for v in values)
-    return f"{spark} " + "→".join(f"{v:.4g}" for v in values)
+    """Spark bar + oldest→newest values, the markdown history cell.
+
+    Uses the shared :func:`repro.sim.report.spark_line`, so single-point
+    and flat histories render mid-height (a level trend), matching
+    ``repro db trend``.
+    """
+    from repro.sim.report import spark_line
+
+    return f"{spark_line(values)} " + "→".join(f"{v:.4g}" for v in values)
 
 
 def attach_history(report: GateReport, current: Dict[str, Any],

@@ -16,6 +16,10 @@ Subcommands:
   ``migrate`` (the regression gate);
 * ``db``         — the cross-run metrics store: ``ingest`` recorded
   JSON documents into a SQLite history, ``query`` and ``trend`` it;
+* ``report``     — the self-contained HTML report: ``report build``
+  folds recorded JSON documents (+ optional trace shards and a ``--db``
+  history) into one static page with the paper-fidelity scorecard,
+  ``report bench`` renders a ``repro.bench.report/v1`` gate report;
 * ``experiments``— map paper artifacts to their benchmark modules.
 
 ``run``/``compare``/``sweep``/``profile`` share the observability flags:
@@ -301,6 +305,25 @@ class _Telemetry:
             self._manager.shutdown()
 
 
+def _write_report_out(args, *docs, label: str) -> None:
+    """``--report-out FILE``: fold this command's documents into a
+    self-contained HTML report (see ``repro report build``)."""
+    out = getattr(args, "report_out", None)
+    if not out:
+        return
+    from repro.report import ReportBundle, build_report
+
+    bundle = ReportBundle()
+    for doc in docs:
+        bundle.add_doc(doc, source=label)
+    try:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(build_report(bundle))
+    except OSError as exc:
+        raise SystemExit(f"repro: cannot write report {out!r}: {exc}")
+    print(f"repro: HTML report written to {out}", file=sys.stderr)
+
+
 def _json_interval(args) -> Optional[int]:
     """Interval for machine-readable output: explicit flag, or a tenth
     of the timed window so ``--json`` documents always carry a series."""
@@ -358,9 +381,10 @@ def cmd_run(args) -> None:
     finally:
         _finish_trace(tracer, trace_spec)
         telemetry.finish()
+    doc = result.to_json_dict()
+    doc["config"] = args.config
+    _write_report_out(args, doc, label=f"run {args.workload}/{args.config}")
     if args.json:
-        doc = result.to_json_dict()
-        doc["config"] = args.config
         print(json.dumps(doc, indent=2))
         return
     print(f"workload={result.workload} config={result.mmu}")
@@ -395,14 +419,15 @@ def cmd_compare(args) -> None:
         _finish_trace(tracer, trace_spec)
         telemetry.finish()
     normalized = row.normalized(configs[0])
+    doc = {"schema": "repro.compare/v1",
+           "workload": args.workload,
+           "normalized_to": configs[0],
+           "speedups": normalized,
+           "results": {name: r.to_json_dict()
+                       for name, r in row.results.items()}}
+    _write_report_out(args, doc, label=f"compare {args.workload}")
     if args.json:
-        print(json.dumps({"schema": "repro.compare/v1",
-                          "workload": args.workload,
-                          "normalized_to": configs[0],
-                          "speedups": normalized,
-                          "results": {name: r.to_json_dict()
-                                      for name, r in row.results.items()}},
-                         indent=2))
+        print(json.dumps(doc, indent=2))
         return
     print(f"{args.workload}: performance normalized to {configs[0]}")
     print(horizontal_bars(normalized, reference=1.0))
@@ -427,13 +452,14 @@ def cmd_sweep(args) -> None:
         _finish_trace(tracer, trace_spec)
         telemetry.finish()
     mpkis = [r.tlb_mpki() for r in results]
+    doc = {"schema": "repro.sweep/v1",
+           "workload": args.workload,
+           "sizes": sizes,
+           "delayed_tlb_mpki": mpkis,
+           "results": [r.to_json_dict() for r in results]}
+    _write_report_out(args, doc, label=f"sweep {args.workload}")
     if args.json:
-        print(json.dumps({"schema": "repro.sweep/v1",
-                          "workload": args.workload,
-                          "sizes": sizes,
-                          "delayed_tlb_mpki": mpkis,
-                          "results": [r.to_json_dict() for r in results]},
-                         indent=2))
+        print(json.dumps(doc, indent=2))
         return
     series = {args.workload: mpkis}
     print("delayed-TLB MPKI by entry count")
@@ -716,6 +742,8 @@ def cmd_bench(args) -> Optional[int]:
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write(report.to_markdown() + "\n")
+    _write_report_out(args, report.to_json_dict(), current,
+                      label="bench check")
     if args.json_report:
         with open(args.json_report, "w", encoding="utf-8") as handle:
             json.dump(report.to_json_dict(), handle, indent=2)
@@ -781,6 +809,51 @@ def cmd_db(args) -> Optional[int]:
         return None
 
 
+def cmd_report(args) -> Optional[int]:
+    """``repro report build|bench`` — the HTML report generator."""
+    from repro.report import (build_bench_report_page, build_report,
+                              load_bundle)
+
+    if args.report_command == "bench":
+        try:
+            with open(args.file, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"repro: cannot read gate report: {exc}")
+        if doc.get("schema") != "repro.bench.report/v1":
+            raise SystemExit(
+                f"repro: expected a repro.bench.report/v1 document, "
+                f"got {doc.get('schema')!r}")
+        page = build_bench_report_page(doc, source=args.file)
+        return _emit_report(page, args.out)
+
+    # build
+    try:
+        bundle = load_bundle(args.files, trace_paths=args.trace or (),
+                             db_path=args.db,
+                             workers=getattr(args, "workers", 1) or 1)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"repro: cannot build report: {exc}")
+    if not len(bundle) and not bundle.history:
+        print("repro: warning: no inputs — the report will carry an "
+              "all-no-data scorecard", file=sys.stderr)
+    page = build_report(bundle, title=args.title)
+    return _emit_report(page, args.out)
+
+
+def _emit_report(page: str, out: Optional[str]) -> Optional[int]:
+    if not out:
+        print(page, end="")
+        return None
+    try:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(page)
+    except OSError as exc:
+        raise SystemExit(f"repro: cannot write report {out!r}: {exc}")
+    print(f"repro: HTML report written to {out}", file=sys.stderr)
+    return None
+
+
 def cmd_experiments(_args) -> None:
     print(markdown_table(["artifact", "benchmark", "what it shows"],
                          EXPERIMENTS))
@@ -825,6 +898,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reuse fingerprint-keyed results from DIR; "
                             "only changed points are re-simulated")
 
+    def add_report_out(p):
+        p.add_argument("--report-out", dest="report_out", metavar="FILE",
+                       help="also write a self-contained HTML report of "
+                            "this command's results (scorecard included)")
+
     def add_telemetry(p):
         p.add_argument("--live", action="store_true",
                        help="in-place stderr status line fed by worker "
@@ -842,6 +920,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(run_parser)
     add_exec(run_parser)
     add_telemetry(run_parser)
+    add_report_out(run_parser)
     run_parser.add_argument("config",
                             choices=MMU_CONFIGS + PRIOR_CONFIGS)
     run_parser.add_argument("--delayed-entries", type=int,
@@ -869,6 +948,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(compare_parser)
     add_exec(compare_parser)
     add_telemetry(compare_parser)
+    add_report_out(compare_parser)
     compare_parser.add_argument("--configs",
                                 help="comma-separated configuration names")
 
@@ -876,6 +956,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(sweep_parser)
     add_exec(sweep_parser)
     add_telemetry(sweep_parser)
+    add_report_out(sweep_parser)
     sweep_parser.add_argument("--sizes", default="1024,4096,16384,65536")
 
     trace_parser = sub.add_parser(
@@ -955,6 +1036,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "report with each metric's recorded "
                                    "history, then ingest this run")
     add_exec(check_parser)
+    add_report_out(check_parser)
     migrate_parser = bench_sub.add_parser(
         "migrate", help="rewrite v1 baseline files in the v2 layout")
     migrate_parser.add_argument("files", nargs="+", metavar="FILE")
@@ -991,6 +1073,48 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="N",
                               help="only the last N runs")
     trend_parser.add_argument("--json", action="store_true")
+
+    report_parser = sub.add_parser(
+        "report", help="self-contained HTML reports with the "
+                       "paper-fidelity scorecard")
+    report_sub = report_parser.add_subparsers(dest="report_command",
+                                              required=True)
+    build_parser_ = report_sub.add_parser(
+        "build", help="fold recorded JSON documents into one HTML page",
+        description="Fold result/compare/sweep/profile/bench/fidelity "
+                    "JSON documents (plus optional JSONL trace shards "
+                    "and a --db history) into one self-contained static "
+                    "HTML report: inline CSS, inline SVG charts, zero "
+                    "external requests, byte-identical for identical "
+                    "inputs.")
+    build_parser_.add_argument("files", nargs="*", metavar="JSON",
+                               help="recorded machine-readable documents "
+                                    "(dispatched on their schema key)")
+    build_parser_.add_argument("--trace", nargs="+", metavar="FILE",
+                               help="JSONL trace shards to analyze into "
+                                    "a trace-analytics section")
+    build_parser_.add_argument("--db", metavar="FILE",
+                               help="metrics store: add cross-run "
+                                    "sparkline history")
+    build_parser_.add_argument("--out", metavar="FILE",
+                               help="write the page here (default: "
+                                    "stdout)")
+    build_parser_.add_argument("--title",
+                               default="Hybrid virtual caching — "
+                                       "reproduction report")
+    build_parser_.add_argument("--workers", type=_positive_int, default=1,
+                               metavar="N",
+                               help="parse inputs on N threads (output "
+                                    "is byte-identical to serial)")
+    bench_report_parser = report_sub.add_parser(
+        "bench", help="render a repro.bench.report/v1 gate report as "
+                      "HTML")
+    bench_report_parser.add_argument("file", metavar="REPORT.json",
+                                     help="a --json-report document from "
+                                          "`repro bench check`")
+    bench_report_parser.add_argument("--out", metavar="FILE",
+                                     help="write the page here "
+                                          "(default: stdout)")
     return parser
 
 
@@ -1004,6 +1128,7 @@ HANDLERS = {
     "trace": cmd_trace,
     "bench": cmd_bench,
     "db": cmd_db,
+    "report": cmd_report,
     "analyze": cmd_analyze,
     "experiments": cmd_experiments,
 }

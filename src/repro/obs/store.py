@@ -231,13 +231,24 @@ class MetricsStore:
         (count,) = self._db.execute("SELECT COUNT(*) FROM runs").fetchone()
         return int(count)
 
+    #: Query orderings: ``ingested`` is newest-ingest-first (the
+    #: ``db query`` view); ``started`` sorts oldest-started-first with
+    #: the configuration name and run key as tie-breaks, so outputs
+    #: built on it are stable however runs entered the store.
+    _ORDERINGS = {
+        "ingested": " ORDER BY ingested_unix DESC, run_key",
+        "started": " ORDER BY COALESCE(started_at, ''), mmu, run_key",
+    }
+
     def query(self, workload: Optional[str] = None,
               mmu: Optional[str] = None,
-              metric: Optional[str] = None) -> List[RunRow]:
-        """Ingested runs (newest first), optionally filtered.
+              metric: Optional[str] = None,
+              order: str = "ingested") -> List[RunRow]:
+        """Ingested runs, optionally filtered.
 
         ``metric`` restricts the per-row metric maps to one name and
-        drops runs that never recorded it.
+        drops runs that never recorded it.  ``order`` picks one of
+        :data:`_ORDERINGS` (default: newest ingest first).
         """
         clauses, params = [], []          # type: ignore[var-annotated]
         if workload is not None:
@@ -250,7 +261,7 @@ class MetricsStore:
         rows = self._db.execute(
             "SELECT run_key, workload, mmu, package_version, started_at, "
             "duration_s, source, ingested_unix FROM runs" + where +
-            " ORDER BY ingested_unix DESC, run_key", params).fetchall()
+            self._ORDERINGS[order], params).fetchall()
         out: List[RunRow] = []
         for row in rows:
             metrics = dict(self._db.execute(
@@ -273,11 +284,16 @@ class MetricsStore:
     def trend(self, metric: str, workload: Optional[str] = None,
               mmu: Optional[str] = None,
               limit: Optional[int] = None) -> List[Tuple[RunRow, float]]:
-        """``(run, value)`` history of one metric, oldest → newest
-        (keyed on ingest order), optionally capped to the last ``limit``."""
+        """``(run, value)`` history of one metric, oldest → newest.
+
+        Ordered by each run's recorded start time (then configuration
+        name, then run key), **not** by ingest order — re-ingesting the
+        same documents in a different order yields the same trend.
+        Optionally capped to the last ``limit`` points.
+        """
         rows = [(run, run.metrics[metric])
-                for run in reversed(self.query(workload=workload, mmu=mmu,
-                                               metric=metric))]
+                for run in self.query(workload=workload, mmu=mmu,
+                                      metric=metric, order="started")]
         if limit is not None and limit > 0:
             rows = rows[-limit:]
         return rows
@@ -358,16 +374,19 @@ def format_runs(rows: Iterable[RunRow],
 
 
 def format_trend(history: List[Tuple[RunRow, float]], metric: str) -> str:
-    """Text rendering of one metric's history, with a spark bar."""
+    """Text rendering of one metric's history, with a spark bar.
+
+    The spark rendering is :func:`repro.sim.report.spark_line`: a
+    single-point (or flat) history draws mid-height blocks — a level
+    trend — instead of collapsing to the bottom glyph.
+    """
+    from repro.sim.report import spark_line
+
     if not history:
         return f"(no history for {metric})"
     values = [value for _, value in history]
     lo, hi = min(values), max(values)
-    span = hi - lo
-    blocks = "▁▂▃▄▅▆▇█"
-    spark = "".join(
-        blocks[int((v - lo) / span * (len(blocks) - 1))] if span else blocks[0]
-        for v in values)
+    spark = spark_line(values)
     lines = [f"{metric}: {spark}  "
              f"(n={len(values)}, min={lo:.6g}, max={hi:.6g}, "
              f"latest={values[-1]:.6g})"]

@@ -147,7 +147,15 @@ class TraceView:
     # ------------------------------------------------------------------ #
 
     def feed(self, event: Dict[str, Any]) -> None:
-        """Fold one parsed JSONL event into the current run."""
+        """Fold one parsed JSONL event into the current run.
+
+        Documented fallback for orphan events: a stream whose first
+        line is *not* a ``run_start`` mark (a shard torn at the front,
+        or a hand-concatenated tail) opens an **implicit run** with an
+        empty detail block — its label renders as ``?/?`` — rather than
+        dropping the events or raising.  A later ``run_start`` mark
+        closes the implicit run and opens a labeled one as usual.
+        """
         self.events_seen += 1
         stage = event.get("stage")
         if stage == STAGE_MARK:

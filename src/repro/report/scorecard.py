@@ -1,0 +1,301 @@
+"""The paper-fidelity scorecard: claims, measurements, badges.
+
+The registry below maps every reproduced artifact of the paper — the
+three abstract-level headline claims, Figures 4/7/9/10/11 and
+Tables I–III — to its quantitative statement: the value the paper
+reports, the direction a reproduction should move in, and the section
+the number comes from.  The scorecard evaluator extracts the reproduced
+value for each claim from a :class:`~repro.report.model.ReportBundle`
+(compare documents, sweeps, bench baselines, or explicit
+``repro.fidelity/v1`` measurement documents), computes the deviation
+from the paper, and assigns a badge:
+
+* **pass** — within ``warn_pct`` of the paper's value;
+* **warn** — beyond that but within ``fail_pct``;
+* **fail** — further off than ``fail_pct``;
+* **no-data** — the bundle carries nothing this claim can be measured
+  from (the claim still renders, so a report always shows the full
+  scorecard and what remains unmeasured).
+
+Tolerances are deliberately loose — this is a model-scale reproduction
+of hardware-simulation numbers, and the scorecard grades *shape
+fidelity*, not simulator-exact equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.report.model import ReportBundle
+
+PASS, WARN, FAIL, NO_DATA = "pass", "warn", "fail", "no-data"
+
+#: Proposed (non-virtualized) configurations, best first — the native
+#: headline is measured from the first of these a compare document has.
+PROPOSED_CONFIGS = ("hybrid_segments", "hybrid_tlb", "hybrid_segments_nosc")
+VIRT_PROPOSED_CONFIGS = ("virt_hybrid_seg", "virt_hybrid_tlb")
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One quantitative statement the paper makes about an artifact."""
+
+    id: str                 #: stable key, also the measurement-doc key
+    artifact: str           #: "Abstract", "Figure 9", "Table II", …
+    title: str              #: short human name of the claim
+    paper_value: float      #: the number the paper states
+    unit: str               #: "%", "x", "MPKI ratio", …
+    source: str             #: where in the paper the number comes from
+    direction: int = +1     #: +1 higher is better, -1 lower is better
+    warn_pct: float = 25.0  #: |deviation| beyond this → warn
+    fail_pct: float = 60.0  #: |deviation| beyond this → fail
+    headline: bool = False  #: one of the three abstract-level claims
+    note: str = ""
+
+
+@dataclass
+class ScoreRow:
+    """One evaluated scorecard entry."""
+
+    claim: PaperClaim
+    measured: Optional[float] = None
+    source: Optional[str] = None     #: which bundle input provided it
+
+    @property
+    def deviation_pct(self) -> Optional[float]:
+        if self.measured is None:
+            return None
+        paper = self.claim.paper_value
+        if paper == 0:
+            return 0.0 if self.measured == 0 else float("inf")
+        return 100.0 * (self.measured - paper) / abs(paper)
+
+    @property
+    def badge(self) -> str:
+        deviation = self.deviation_pct
+        if deviation is None:
+            return NO_DATA
+        if abs(deviation) <= self.claim.warn_pct:
+            return PASS
+        if abs(deviation) <= self.claim.fail_pct:
+            return WARN
+        return FAIL
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.claim.id, "artifact": self.claim.artifact,
+            "title": self.claim.title,
+            "paper_value": self.claim.paper_value, "unit": self.claim.unit,
+            "measured": self.measured, "deviation_pct": self.deviation_pct,
+            "badge": self.badge, "source": self.source,
+            "paper_source": self.claim.source, "headline": self.claim.headline,
+        }
+
+
+#: The full registry, in presentation order.  Artifact grouping drives
+#: the report's per-figure/table sections.
+CLAIMS: tuple = (
+    PaperClaim(
+        id="abstract.native_speedup", artifact="Abstract",
+        title="Native performance gain over the physical baseline "
+              "(memory-intensive workloads)",
+        paper_value=10.7, unit="% speedup", headline=True,
+        source="Abstract; Section VI-B (Figure 9)",
+        note="Geomean IPC gain of the proposed hybrid over the "
+             "conventional two-level-TLB baseline."),
+    PaperClaim(
+        id="abstract.translation_power", artifact="Abstract",
+        title="Translation-component dynamic power reduction",
+        paper_value=60.0, unit="% reduction", headline=True,
+        source="Abstract; Figure 11 (reconstructed)",
+        note="Filters + synonym TLB + delayed structures vs. the "
+             "baseline's always-on two-level TLBs and page walks."),
+    PaperClaim(
+        id="abstract.virt_speedup", artifact="Abstract",
+        title="Virtualized performance gain over a 2-D "
+              "translation-cache baseline",
+        paper_value=31.7, unit="% speedup", headline=True,
+        source="Abstract; Section V (Figure 10, reconstructed)",
+        note="Delayed 2-D translation past the LLC removes most nested "
+             "walk cycles."),
+    PaperClaim(
+        id="fig4.hostile_mpki_ratio", artifact="Figure 4",
+        title="Delayed-TLB MPKI remaining at the largest size "
+              "(scaling-hostile workloads)",
+        paper_value=0.9, unit="fraction of smallest-size MPKI",
+        direction=-1, warn_pct=15.0, fail_pct=40.0,
+        source="Section IV-A.1",
+        note="GUPS/mcf/milc page working sets dwarf even a 32K-entry "
+             "delayed TLB: growing it barely helps, so the large-size "
+             "MPKI stays a large fraction of the small-size MPKI."),
+    PaperClaim(
+        id="fig7.index_cache_8k_hit", artifact="Figure 7",
+        title="Index-cache hit rate at 8 KB (real workloads)",
+        paper_value=0.99, unit="hit rate", warn_pct=5.0, fail_pct=15.0,
+        source="Section IV-B.3",
+        note="Locality in the index tree makes a modest 8 KB cache "
+             "essentially miss-free."),
+    PaperClaim(
+        id="fig9.native_speedup", artifact="Figure 9",
+        title="Many-segment + segment-cache speedup over baseline "
+              "(geomean, memory-intensive)",
+        paper_value=10.7, unit="% speedup",
+        source="Section VI-B",
+        note="The per-workload version of the abstract headline; "
+             "many-segment+SC should also track the ideal no-miss TLB."),
+    PaperClaim(
+        id="fig10.virt_speedup", artifact="Figure 10",
+        title="Hybrid two-step delayed translation speedup over the "
+              "virtualized baseline (geomean)",
+        paper_value=31.7, unit="% speedup",
+        source="Section V (reconstructed from the abstract)",
+        note="The virtualized counterpart of Figure 9."),
+    PaperClaim(
+        id="fig11.energy_reduction", artifact="Figure 11",
+        title="Translation-component energy reduction (average)",
+        paper_value=60.0, unit="% reduction",
+        source="Abstract (figure reconstructed)",
+        note="CACTI-class per-event energies over a steady-state "
+             "window, including the hybrid's extended-tag overhead."),
+    PaperClaim(
+        id="table1.postgres_shared_area", artifact="Table I",
+        title="postgres r/w shared memory area fraction",
+        paper_value=0.66, unit="fraction", warn_pct=20.0, fail_pct=50.0,
+        source="Section II-C",
+        note="postgres shares ~2/3 of its memory but only ~16 % of "
+             "accesses touch the shared region."),
+    PaperClaim(
+        id="table2.filter_access_reduction", artifact="Table II",
+        title="TLB-access reduction from synonym filtering (min across "
+              "synonym workloads)",
+        paper_value=83.7, unit="%", warn_pct=15.0, fail_pct=40.0,
+        source="Section III-C",
+        note="Worst case is postgres at 83.7 %; the rest exceed 99 %."),
+    PaperClaim(
+        id="table2.false_positive_rate", artifact="Table II",
+        title="Synonym-filter false-positive rate (max)",
+        paper_value=0.005, unit="fraction", direction=-1,
+        warn_pct=100.0, fail_pct=400.0,
+        source="Section III-C",
+        note="The paper reports < 0.5 % across all synonym workloads."),
+    PaperClaim(
+        id="table3.eager_untouched", artifact="Table III",
+        title="Untouched eagerly-allocated memory (worst application)",
+        paper_value=0.75, unit="fraction", direction=-1,
+        warn_pct=35.0, fail_pct=80.0,
+        source="Section IV-B",
+        note="Eager allocation leaves 17–75 % of memory untouched in "
+             "several applications — the cost side of segments."),
+)
+
+HEADLINE_IDS = tuple(c.id for c in CLAIMS if c.headline)
+
+
+# ---------------------------------------------------------------------- #
+# Measurement extraction
+# ---------------------------------------------------------------------- #
+
+def _speedup_pct(bundle: "ReportBundle", proposed: tuple,
+                 virt: bool) -> Optional[tuple]:
+    """Geomean percent gain of the first matching proposed config across
+    the bundle's compare documents; ``(value, source)`` or ``None``."""
+    from repro.sim.results import geometric_mean
+
+    gains: List[float] = []
+    sources: List[str] = []
+    for doc, source in bundle.compares:
+        speedups = doc.get("speedups") or {}
+        is_virt = any(name.startswith("virt") for name in speedups)
+        if is_virt != virt:
+            continue
+        for name in proposed:
+            if name in speedups and speedups[name] > 0:
+                gains.append(speedups[name])
+                sources.append(source)
+                break
+    if not gains:
+        return None
+    return (100.0 * (geometric_mean(gains) - 1.0),
+            ", ".join(dict.fromkeys(sources)))
+
+
+def _measure_native_speedup(bundle: "ReportBundle") -> Optional[tuple]:
+    return _speedup_pct(bundle, PROPOSED_CONFIGS, virt=False)
+
+
+def _measure_virt_speedup(bundle: "ReportBundle") -> Optional[tuple]:
+    return _speedup_pct(bundle, VIRT_PROPOSED_CONFIGS, virt=True)
+
+
+def _measure_fig4_ratio(bundle: "ReportBundle") -> Optional[tuple]:
+    """Largest-size MPKI as a fraction of smallest-size MPKI, averaged
+    over the bundle's sweep documents (1.0 = scaling does not help)."""
+    ratios: List[float] = []
+    sources: List[str] = []
+    for doc, source in bundle.sweeps:
+        curve = doc.get("delayed_tlb_mpki") or []
+        if len(curve) >= 2 and curve[0] > 0:
+            ratios.append(curve[-1] / curve[0])
+            sources.append(source)
+    if not ratios:
+        return None
+    return (sum(ratios) / len(ratios), ", ".join(dict.fromkeys(sources)))
+
+
+def _from_measurements(claim_id: str
+                       ) -> Callable[["ReportBundle"], Optional[tuple]]:
+    def extract(bundle: "ReportBundle") -> Optional[tuple]:
+        entry = bundle.measurements.get(claim_id)
+        if entry is None:
+            return None
+        return float(entry[0]), entry[1]
+    return extract
+
+
+def _extractor(claim: PaperClaim
+               ) -> Callable[["ReportBundle"], Optional[tuple]]:
+    special = {
+        "abstract.native_speedup": _measure_native_speedup,
+        "fig9.native_speedup": _measure_native_speedup,
+        "abstract.virt_speedup": _measure_virt_speedup,
+        "fig10.virt_speedup": _measure_virt_speedup,
+        "fig4.hostile_mpki_ratio": _measure_fig4_ratio,
+    }
+    direct = special.get(claim.id)
+    fallback = _from_measurements(claim.id)
+    if direct is None:
+        return fallback
+
+    def extract(bundle: "ReportBundle") -> Optional[tuple]:
+        # An explicit repro.fidelity/v1 measurement always wins over
+        # the derived value — it is the author saying "grade this".
+        return fallback(bundle) or direct(bundle)
+    return extract
+
+
+def evaluate_scorecard(bundle: "ReportBundle") -> List[ScoreRow]:
+    """Evaluate every registered claim against one bundle, in order."""
+    rows: List[ScoreRow] = []
+    for claim in CLAIMS:
+        extracted = _extractor(claim)(bundle)
+        if extracted is None:
+            rows.append(ScoreRow(claim=claim))
+        else:
+            value, source = extracted
+            rows.append(ScoreRow(claim=claim, measured=value, source=source))
+    return rows
+
+
+def rows_for_artifact(rows: List[ScoreRow], artifact: str) -> List[ScoreRow]:
+    return [row for row in rows if row.claim.artifact == artifact]
+
+
+def artifacts(rows: List[ScoreRow]) -> List[str]:
+    """Distinct non-abstract artifacts, in registry order."""
+    seen: Dict[str, None] = {}
+    for row in rows:
+        if row.claim.artifact != "Abstract":
+            seen.setdefault(row.claim.artifact)
+    return list(seen)

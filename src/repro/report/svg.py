@@ -1,0 +1,260 @@
+"""Inline SVG chart primitives for the HTML report.
+
+Every function returns a complete ``<svg>…</svg>`` fragment built from
+plain string formatting — no plotting library, no external fonts, no
+``xmlns`` URL (optional for SVG embedded in HTML5, and the report is
+pinned to contain zero ``http(s)://`` references).  All coordinates are
+formatted with fixed precision so identical inputs render to identical
+bytes, which the byte-determinism golden test relies on.
+
+Empty-input guards mirror :mod:`repro.sim.report`: an empty mapping or a
+zero total renders a small placeholder tile instead of raising — the
+same contract the ASCII helpers follow.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Fill colors cycled by multi-series charts (hex only, no URLs).
+PALETTE = ("#4878a8", "#e8795a", "#57a773", "#a05aa8",
+           "#c8a24b", "#5ab4c8", "#98687b", "#708238")
+
+ACCENT = "#4878a8"
+MUTED = "#8a8f98"
+
+
+def _esc(text: object) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def _num(value: float) -> str:
+    """Fixed-precision coordinate formatting (deterministic bytes)."""
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def placeholder(note: str = "(no data)", width: int = 360,
+                height: int = 40) -> str:
+    """The empty-chart tile every renderer falls back to."""
+    return (f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+            f'height="{height}" role="img">'
+            f'<rect x="0" y="0" width="{width}" height="{height}" '
+            f'fill="none" stroke="{MUTED}" stroke-dasharray="4 3"/>'
+            f'<text x="{width // 2}" y="{height // 2 + 4}" '
+            f'text-anchor="middle" fill="{MUTED}" font-size="12">'
+            f"{_esc(note)}</text></svg>")
+
+
+def bar_chart(values: Mapping[str, float], *, width: int = 560,
+              bar_height: int = 18, gap: int = 6,
+              reference: float | None = None,
+              fmt: str = "{:.3f}", label_width: int = 150) -> str:
+    """Labeled horizontal bars scaled to the maximum value.
+
+    ``reference`` draws a vertical rule at that value (e.g. 1.0 in a
+    normalized-performance chart).  Negative values clamp to zero-length
+    bars, like :func:`repro.sim.report.horizontal_bars`.
+    """
+    if not values:
+        return placeholder()
+    peak = max(values.values())
+    if peak <= 0:
+        return placeholder("(no positive values)")
+    plot_w = width - label_width - 70
+    height = len(values) * (bar_height + gap) + gap
+    parts = [f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+             f'height="{height}" role="img">']
+    for i, (label, value) in enumerate(values.items()):
+        y = gap + i * (bar_height + gap)
+        bar_w = max(0.0, plot_w * value / peak)
+        color = PALETTE[i % len(PALETTE)]
+        parts.append(
+            f'<text x="{label_width - 6}" y="{y + bar_height - 5}" '
+            f'text-anchor="end" font-size="12">{_esc(label)}</text>')
+        parts.append(
+            f'<rect x="{label_width}" y="{y}" width="{_num(bar_w)}" '
+            f'height="{bar_height}" fill="{color}"/>')
+        parts.append(
+            f'<text x="{_num(label_width + bar_w + 5)}" '
+            f'y="{y + bar_height - 5}" font-size="11" fill="{MUTED}">'
+            f"{_esc(fmt.format(value))}</text>")
+    if reference is not None and 0 < reference <= peak:
+        x = label_width + plot_w * reference / peak
+        parts.append(
+            f'<line x1="{_num(x)}" y1="0" x2="{_num(x)}" '
+            f'y2="{height}" stroke="#333" stroke-dasharray="3 3"/>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def histogram_chart(snapshot: Mapping[str, object], *, width: int = 560,
+                    bar_height: int = 14, gap: int = 4) -> str:
+    """Render a log2 :meth:`Histogram.snapshot` as horizontal bars.
+
+    Same guard as the ASCII ``histogram_chart``: no buckets or a zero
+    count renders the placeholder tile.
+    """
+    buckets = snapshot.get("buckets") or []
+    count = snapshot.get("count", 0)
+    if not buckets or not count:
+        return placeholder("(empty histogram)")
+    peak = max(b["count"] for b in buckets)
+    if peak <= 0:
+        return placeholder("(empty histogram)")
+    label_width = 110
+    height = len(buckets) * (bar_height + gap) + gap + 16
+    parts = [f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+             f'height="{height}" role="img">',
+             f'<text x="0" y="12" font-size="11" fill="{MUTED}">'
+             f"n={count}  mean={float(snapshot.get('mean', 0.0)):.1f}  "
+             f"p50&lt;={snapshot.get('p50', 0)}  "
+             f"p99&lt;={snapshot.get('p99', 0)}</text>"]
+    plot_w = width - label_width - 60
+    for i, bucket in enumerate(buckets):
+        y = 20 + i * (bar_height + gap)
+        bar_w = max(1.0, plot_w * bucket["count"] / peak)
+        share = 100.0 * bucket["count"] / count
+        parts.append(
+            f'<text x="{label_width - 6}" y="{y + bar_height - 3}" '
+            f'text-anchor="end" font-size="10">'
+            f"[{bucket['lo']}, {bucket['hi']}]</text>")
+        parts.append(
+            f'<rect x="{label_width}" y="{y}" width="{_num(bar_w)}" '
+            f'height="{bar_height}" fill="{ACCENT}"/>')
+        parts.append(
+            f'<text x="{_num(label_width + bar_w + 4)}" '
+            f'y="{y + bar_height - 3}" font-size="10" fill="{MUTED}">'
+            f"{bucket['count']} ({share:.1f}%)</text>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def sparkline(values: Sequence[float], *, width: int = 120,
+              height: int = 24, stroke: str = ACCENT) -> str:
+    """A small polyline trend chart (the report's history glyph).
+
+    One point draws a flat midline with a dot — a single-sample history
+    is a level trend, not an error.  Empty histories render the
+    placeholder dash.
+    """
+    values = list(values)
+    if not values:
+        return placeholder("—", width=width, height=height)
+    pad = 3
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if len(values) == 1 or span == 0:
+        y = height / 2
+        last_x = width - pad
+        parts = [f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+                 f'height="{height}" role="img">',
+                 f'<line x1="{pad}" y1="{_num(y)}" x2="{last_x}" '
+                 f'y2="{_num(y)}" stroke="{stroke}" stroke-width="1.5"/>',
+                 f'<circle cx="{last_x}" cy="{_num(y)}" r="2.5" '
+                 f'fill="{stroke}"/></svg>']
+        return "".join(parts)
+    step = (width - 2 * pad) / (len(values) - 1)
+    points = []
+    for i, value in enumerate(values):
+        x = pad + i * step
+        y = pad + (height - 2 * pad) * (1.0 - (value - lo) / span)
+        points.append(f"{_num(x)},{_num(y)}")
+    last_x, last_y = points[-1].split(",")
+    return (f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+            f'height="{height}" role="img">'
+            f'<polyline points="{" ".join(points)}" fill="none" '
+            f'stroke="{stroke}" stroke-width="1.5"/>'
+            f'<circle cx="{last_x}" cy="{last_y}" r="2.5" '
+            f'fill="{stroke}"/></svg>')
+
+
+def line_chart(series: Mapping[str, Sequence[float]],
+               columns: Sequence[object], *, width: int = 560,
+               height: int = 220, log_y: bool = False) -> str:
+    """Multi-series line chart over shared x labels (sweep curves).
+
+    Guards: no series, or no positive/finite values, renders the
+    placeholder.  ``log_y`` plots on a log10 axis, clamping values
+    ``<= 0`` to the smallest positive value present.
+    """
+    series = {name: list(row) for name, row in series.items() if row}
+    if not series or not columns:
+        return placeholder()
+    flat = [v for row in series.values() for v in row]
+    if log_y:
+        positive = [v for v in flat if v > 0]
+        if not positive:
+            return placeholder("(no positive values)")
+        import math
+
+        floor = min(positive)
+        flat = [math.log10(max(v, floor)) for v in flat]
+
+        def transform(v: float) -> float:
+            return math.log10(max(v, floor))
+    else:
+        def transform(v: float) -> float:
+            return v
+    lo, hi = min(flat), max(flat)
+    span = (hi - lo) or 1.0
+    pad_l, pad_r, pad_t, pad_b = 50, 10, 10, 22
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+    n = max(len(row) for row in series.values())
+    step = plot_w / (n - 1) if n > 1 else 0.0
+    parts = [f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+             f'height="{height}" role="img">',
+             f'<line x1="{pad_l}" y1="{pad_t}" x2="{pad_l}" '
+             f'y2="{height - pad_b}" stroke="{MUTED}"/>',
+             f'<line x1="{pad_l}" y1="{height - pad_b}" x2="{width - pad_r}" '
+             f'y2="{height - pad_b}" stroke="{MUTED}"/>']
+    for i, column in enumerate(columns[:n]):
+        x = pad_l + i * step
+        parts.append(f'<text x="{_num(x)}" y="{height - 6}" '
+                     f'text-anchor="middle" font-size="10" fill="{MUTED}">'
+                     f"{_esc(column)}</text>")
+    for si, (name, row) in enumerate(series.items()):
+        color = PALETTE[si % len(PALETTE)]
+        points = []
+        for i, value in enumerate(row):
+            x = pad_l + i * step
+            y = pad_t + plot_h * (1.0 - (transform(value) - lo) / span)
+            points.append(f"{_num(x)},{_num(y)}")
+        parts.append(f'<polyline points="{" ".join(points)}" fill="none" '
+                     f'stroke="{color}" stroke-width="2"/>')
+        parts.append(f'<text x="{width - pad_r}" y="{pad_t + 12 + 13 * si}" '
+                     f'text-anchor="end" font-size="11" fill="{color}">'
+                     f"{_esc(name)}</text>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def stacked_bar(breakdown: Mapping[str, float], *, width: int = 560,
+                height: int = 26) -> str:
+    """One stacked bar of cycle/energy components with a legend row.
+
+    Same guard as :func:`repro.sim.report.breakdown_chart`: an empty
+    mapping or a non-positive total renders the placeholder.
+    """
+    total = sum(breakdown.values())
+    if not breakdown or total <= 0:
+        return placeholder("(empty breakdown)")
+    legend_h = 16 * ((len(breakdown) + 2) // 3)
+    parts = [f'<svg viewBox="0 0 {width} {height + legend_h + 8}" '
+             f'width="{width}" height="{height + legend_h + 8}" role="img">']
+    x = 0.0
+    for i, (name, value) in enumerate(breakdown.items()):
+        span = width * value / total
+        color = PALETTE[i % len(PALETTE)]
+        parts.append(f'<rect x="{_num(x)}" y="0" width="{_num(span)}" '
+                     f'height="{height}" fill="{color}"/>')
+        x += span
+        lx = 10 + (i % 3) * (width // 3)
+        ly = height + 14 + 16 * (i // 3)
+        parts.append(f'<rect x="{lx}" y="{ly - 9}" width="10" height="10" '
+                     f'fill="{color}"/>')
+        parts.append(f'<text x="{lx + 14}" y="{ly}" font-size="11">'
+                     f"{_esc(name)}: {100.0 * value / total:.1f}%</text>")
+    parts.append("</svg>")
+    return "".join(parts)

@@ -10,6 +10,30 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Sequence
 
 
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def spark_line(values: Sequence[float]) -> str:
+    """Unicode spark bar of a value series, min-to-max scaled.
+
+    Degenerate histories stay sensible instead of collapsing to the
+    bottom glyph: an empty series renders as an empty string, and a
+    single point (or an all-equal series) renders as mid-height blocks —
+    a flat trend, not a minimum.  Shared by ``repro db trend`` and the
+    bench gate's history column.
+    """
+    values = list(values)
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_BLOCKS[len(_SPARK_BLOCKS) // 2] * len(values)
+    return "".join(
+        _SPARK_BLOCKS[int((v - lo) / span * (len(_SPARK_BLOCKS) - 1))]
+        for v in values)
+
+
 def horizontal_bars(values: Mapping[str, float], width: int = 40,
                     reference: float | None = None,
                     fmt: str = "{:6.3f}") -> str:
@@ -120,7 +144,12 @@ def cycle_attribution(breakdown: Mapping[str, float]) -> str:
 
 def normalized_comparison(rows: Mapping[str, Mapping[str, float]],
                           baseline_key: str = "baseline") -> str:
-    """Render per-workload normalized results plus a geomean row."""
+    """Render per-workload normalized results plus a geomean row.
+
+    An empty mapping — or rows that name no configuration at all —
+    renders the ``(no data)`` placeholder rather than a degenerate
+    header-only table.
+    """
     from repro.sim.results import geometric_mean
 
     configs: List[str] = []
@@ -128,6 +157,8 @@ def normalized_comparison(rows: Mapping[str, Mapping[str, float]],
         for key in row:
             if key not in configs:
                 configs.append(key)
+    if not rows or not configs:
+        return "(no data)"
     table: Dict[str, List[float]] = {
         name: [row.get(c, 0.0) for c in configs] for name, row in rows.items()
     }

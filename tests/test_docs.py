@@ -57,3 +57,25 @@ class TestDocSnippets:
         text = (ROOT / "README.md").read_text()
         for line in re.findall(r"python (examples/\w+\.py)", text):
             assert (ROOT / line).exists(), line
+
+
+class TestDocLinks:
+    """Relative markdown links must resolve to real files (run in CI's
+    lint job as the docs link-integrity gate)."""
+
+    LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
+
+    @pytest.mark.parametrize("path", DOC_FILES, ids=lambda p: p.name)
+    def test_relative_links_resolve(self, path):
+        for target in self.LINK.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            resolved = (path.parent / target).resolve()
+            assert resolved.exists(), f"{path.name}: broken link {target!r}"
+
+    def test_backticked_paths_exist(self):
+        """File-looking `path` references in README/EXPERIMENTS exist."""
+        for doc in (ROOT / "README.md", ROOT / "EXPERIMENTS.md"):
+            for ref in re.findall(r"`((?:docs|examples|benchmarks|tests)/"
+                                  r"[\w./]+)`", doc.read_text()):
+                assert (ROOT / ref).exists(), f"{doc.name}: {ref!r} missing"

@@ -105,6 +105,22 @@ class TestExamplesRun:
         assert "ingested 3 run(s)" in out
         assert "ipc:" in out
 
+    def test_fidelity_report(self, capsys, tmp_path):
+        module = load_example("fidelity_report")
+        shrink(module, ACCESSES=600, WARMUP=300,
+               ENERGY_ACCESSES=600, ENERGY_WARMUP=1200,
+               TABLE2_ACCESSES=800, TABLE2_WARMUP=1600,
+               FIG7_LOOKUPS=400, VIRT_WORKLOADS=("gups",),
+               ENERGY_WORKLOADS=("stream",),
+               OUT=tmp_path / "report.html")
+        module.main()
+        out = capsys.readouterr().out
+        assert "fidelity scorecard:" in out
+        assert "no-data=0" in out          # every claim measured
+        page = (tmp_path / "report.html").read_text(encoding="utf-8")
+        assert "Paper-fidelity scorecard" in page
+        assert "http://" not in page and "https://" not in page
+
     def test_bench_gate(self, capsys):
         module = load_example("bench_gate")
         shrink(module, ACCESSES=600, WARMUP=200)

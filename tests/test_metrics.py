@@ -526,6 +526,33 @@ class TestStore:
         assert format_runs([]) == "(no runs recorded)"
         assert "no history" in format_trend([], "ipc")
 
+    def test_trend_order_independent_of_ingest_order(self, tmp_path):
+        """Trend rows follow started-at (then config), not ingest time."""
+        docs = []
+        for day, seed in enumerate((1, 2, 3), start=1):
+            doc = _result_doc(seed=seed)
+            doc["manifest"]["started_at"] = f"2026-08-0{day}T00:00:00"
+            docs.append(doc)
+        orders = []
+        for tag, sequence in (("fwd", docs), ("rev", list(reversed(docs)))):
+            with MetricsStore(tmp_path / f"{tag}.sqlite") as store:
+                for doc in sequence:
+                    store.ingest(doc)
+                history = store.trend("ipc")
+            orders.append([run.run_key for run, _ in history])
+            stamps = [run.started_at for run, _ in history]
+            assert stamps == sorted(stamps)
+        assert orders[0] == orders[1]
+
+    def test_format_trend_single_point_draws_flat_spark(self, tmp_path):
+        from repro.sim.report import spark_line
+
+        with MetricsStore(tmp_path / "db.sqlite") as store:
+            store.ingest(_result_doc())
+            trend = format_trend(store.trend("ipc"), "ipc")
+        assert "n=1" in trend
+        assert spark_line([1.0]) in trend   # mid-height block, not bottom
+
 
 class TestAttachHistory:
     def test_attaches_matching_history(self):

@@ -93,6 +93,25 @@ class TestTraceViewSynthetic:
         assert len(view.runs) == 1
         assert view.runs[0].accesses == 1
 
+    def test_orphan_shard_fallback_via_read_trace(self, tmp_path):
+        """A shard torn at the front (first line not a run_start) opens
+        an implicit, unlabeled run; a later mark closes it normally."""
+        path = _write_jsonl(tmp_path / "torn.jsonl", [
+            _stage(0, "cache", 4), _access(0, cache=4),   # orphan events
+            _mark(workload="gups", mmu="hybrid"),         # then a real run
+            _access(1, cache=6),
+        ])
+        view = read_trace(path)
+        assert len(view.runs) == 2
+        implicit, labeled = view.runs
+        assert implicit.detail == {}
+        assert implicit.label == "?/?"
+        assert implicit.accesses == 1
+        assert labeled.label.startswith("gups/hybrid")
+        assert labeled.accesses == 1
+        # The orphan events still count in the overall merge.
+        assert view.overall().accesses == 2
+
     def test_untimed_accesses_counted_separately(self):
         view = TraceView()
         view.feed(_access(0, cache=4, timed=False))
@@ -145,6 +164,27 @@ class TestTraceViewSynthetic:
         snap = combined.stage_histograms["cache"].snapshot()
         assert snap["count"] == 2
         assert combined.slowest[0].total_cycles == 1000
+
+    def test_combine_summaries_sums_counters_and_reranks(self):
+        views = []
+        for hit, cycles in (("l1", 4), ("memory", 900), ("memory", 700)):
+            v = TraceView()
+            v.feed(_mark())
+            v.feed(_access(0, cache=cycles, hit=hit))
+            views.append(v.finish())
+        combined = combine_summaries([v.runs[0] for v in views], top_n=2)
+        assert combined.accesses == 3
+        assert combined.total_cycles == 4 + 900 + 700
+        assert combined.hit_levels == {"l1": 1, "memory": 2}
+        assert combined.detail["runs"] == 3
+        # Slowest list is the re-ranked union, truncated to top_n.
+        assert [r.total_cycles for r in combined.slowest] == [900, 700]
+
+    def test_combine_summaries_empty_is_zeroed(self):
+        combined = combine_summaries([])
+        assert combined.accesses == 0
+        assert combined.detail == {"label": "overall", "runs": 0}
+        assert combined.slowest == []
 
     def test_json_document_shape(self, tmp_path):
         path = _write_jsonl(tmp_path / "t.jsonl",
