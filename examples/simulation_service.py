@@ -1,0 +1,102 @@
+"""The simulation service, end to end — no network setup required.
+
+Boots a `JobService` + `ServeServer` on an ephemeral port in this
+process, then plays three clients against it over real HTTP:
+
+1. a cold submission that runs one simulation;
+2. five concurrent duplicates that all coalesce onto that execution
+   (exactly one simulation total, byte-identical result bodies);
+3. a resubmission after the result landed in the on-disk cache —
+   answered straight from disk, zero simulations.
+
+Finishes with the service's own scorecard from ``/metrics``.  The same
+flow works against a long-lived ``python -m repro serve`` process; see
+``docs/serving.md``.
+"""
+
+import json
+import tempfile
+import threading
+import time
+import urllib.request
+
+from repro.exec import Job, ResultCache, SerialExecutor
+from repro.serve import JobService, ServeServer
+
+ACCESSES = 20_000
+WARMUP = 4_000
+CLIENTS = 5
+
+
+def submit(base, job):
+    body = json.dumps(job.to_json_dict()).encode()
+    with urllib.request.urlopen(base + "/jobs", data=body) as resp:
+        return json.loads(resp.read())
+
+
+def poll(base, fingerprint, timeout=300):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with urllib.request.urlopen(base + f"/jobs/{fingerprint}") as resp:
+            doc = json.loads(resp.read())
+            if resp.status == 200:
+                return doc
+        time.sleep(0.05)
+    raise TimeoutError(fingerprint)
+
+
+def main():
+    job = Job("gups", "hybrid_tlb", accesses=ACCESSES, warmup=WARMUP)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        executor = SerialExecutor()
+        service = JobService(cache=ResultCache(cache_dir),
+                             executor=executor)
+        with ServeServer(service) as server:
+            try:
+                print(f"service up on {server.url}")
+
+                print(f"\n-- {CLIENTS} concurrent clients, one job --")
+                results = [None] * CLIENTS
+                def client(i):
+                    status = submit(server.url, job)
+                    results[i] = poll(server.url, status["fingerprint"])
+                threads = [threading.Thread(target=client, args=(i,))
+                           for i in range(CLIENTS)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                ipcs = {round(r["ipc"], 4) for r in results}
+                print(f"simulations executed: {executor.submitted}")
+                print(f"all {CLIENTS} clients agree on IPC: {ipcs}")
+
+                print("\n-- resubmission to the same service: replayed --")
+                status = submit(server.url, job)
+                print(f"disposition: {status['disposition']}")
+
+                with urllib.request.urlopen(server.url + "/metrics") as resp:
+                    text = resp.read().decode()
+                print("\n-- /metrics scorecard --")
+                for line in text.splitlines():
+                    if (line.startswith("repro_serve_submissions_total")
+                            or line.startswith("repro_serve_jobs_total")):
+                        print(f"  {line}")
+            finally:
+                service.drain(timeout=60)
+                service.close()
+
+        print("\n-- service restart: answered from the disk cache --")
+        restarted_exec = SerialExecutor()
+        service = JobService(cache=ResultCache(cache_dir),
+                             executor=restarted_exec)
+        with ServeServer(service) as server:
+            try:
+                status = submit(server.url, job)
+                print(f"disposition: {status['disposition']}")
+                print(f"simulations executed: {restarted_exec.submitted}")
+            finally:
+                service.close()
+
+
+if __name__ == "__main__":
+    main()

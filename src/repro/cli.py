@@ -20,6 +20,11 @@ Subcommands:
   folds recorded JSON documents (+ optional trace shards and a ``--db``
   history) into one static page with the paper-fidelity scorecard,
   ``report bench`` renders a ``repro.bench.report/v1`` gate report;
+* ``serve``      — the long-lived simulation service: accepts
+  ``repro.job/v1`` submissions over HTTP, coalesces duplicate in-flight
+  requests by fingerprint, serves cache hits from ``--cache-dir``, and
+  applies admission control on a bounded queue; SIGTERM drains
+  in-flight jobs before exit (see ``docs/serving.md``);
 * ``experiments``— map paper artifacts to their benchmark modules.
 
 ``run``/``compare``/``sweep``/``profile`` share the observability flags:
@@ -854,6 +859,70 @@ def _emit_report(page: str, out: Optional[str]) -> Optional[int]:
     return None
 
 
+def cmd_serve(args) -> int:
+    """``repro serve`` — the long-lived simulation service."""
+    import signal
+    import threading
+
+    from repro.serve import JobService, ServeServer
+
+    executor = (ParallelExecutor(workers=args.workers)
+                if args.workers > 1 else SerialExecutor())
+    service = JobService(cache=_cache(args), executor=executor,
+                         max_queue=args.max_queue,
+                         batch_max=args.batch_max,
+                         job_timeout=args.timeout)
+    try:
+        server = ServeServer(service, host=args.host,
+                             port=args.port).start()
+    except OSError as exc:
+        service.close()
+        raise SystemExit(
+            f"repro: cannot serve on {args.host}:{args.port}: {exc}")
+    metrics_server = None
+    if args.metrics_port is not None:
+        try:
+            metrics_server = MetricsServer(service.registry,
+                                           port=args.metrics_port,
+                                           host=args.host).start()
+        except OSError as exc:
+            server.close()
+            service.close()
+            raise SystemExit(f"repro: cannot serve /metrics on port "
+                             f"{args.metrics_port}: {exc}")
+        print(f"repro: serving /metrics on http://{metrics_server.host}:"
+              f"{metrics_server.port}/metrics", file=sys.stderr)
+    print(f"repro: serving jobs on {server.url}/jobs "
+          f"(workers={args.workers}, max-queue={args.max_queue}, "
+          f"batch-max={args.batch_max}"
+          + (f", cache={args.cache_dir}" if args.cache_dir else "")
+          + ")", file=sys.stderr, flush=True)
+
+    stop = threading.Event()
+
+    def _on_signal(signum, _frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    try:
+        while not stop.is_set():
+            stop.wait(0.5)
+    finally:
+        print("repro: draining (no new submissions)...", file=sys.stderr,
+              flush=True)
+        drained = service.drain(timeout=args.drain_timeout)
+        server.close()
+        if metrics_server is not None:
+            metrics_server.close()
+        service.close()
+        counts = service.counts()
+        print(f"repro: {'drained' if drained else 'drain timed out'}: "
+              f"{counts['done']} done, {counts['error']} failed",
+              file=sys.stderr, flush=True)
+    return 0 if drained else 1
+
+
 def cmd_experiments(_args) -> None:
     print(markdown_table(["artifact", "benchmark", "what it shows"],
                          EXPERIMENTS))
@@ -1074,6 +1143,52 @@ def build_parser() -> argparse.ArgumentParser:
                               help="only the last N runs")
     trend_parser.add_argument("--json", action="store_true")
 
+    serve_parser = sub.add_parser(
+        "serve", help="long-lived simulation service over HTTP",
+        description="Accept repro.job/v1 submissions on POST /jobs, "
+                    "coalesce duplicate in-flight requests by job "
+                    "fingerprint, serve cache hits from --cache-dir, "
+                    "and run misses in batches on the execution engine "
+                    "behind a bounded queue (429 + Retry-After when "
+                    "full). GET /jobs/<fingerprint> polls status and "
+                    "results; /healthz and /metrics are mounted on the "
+                    "same port. SIGTERM drains in-flight jobs before "
+                    "exit.")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8787,
+                              help="listen port (0 = ephemeral, printed "
+                                   "to stderr; default: 8787)")
+    serve_parser.add_argument("--workers", type=_positive_int, default=1,
+                              metavar="N",
+                              help="fan each batch across N processes "
+                                   "(default: 1, in-thread)")
+    serve_parser.add_argument("--cache-dir", dest="cache_dir",
+                              metavar="DIR",
+                              help="serve repeated jobs from this "
+                                   "fingerprint-keyed result cache and "
+                                   "store new results into it")
+    serve_parser.add_argument("--max-queue", type=_positive_int,
+                              dest="max_queue", default=16, metavar="N",
+                              help="bounded admission queue size "
+                                   "(default: 16)")
+    serve_parser.add_argument("--batch-max", type=_positive_int,
+                              dest="batch_max", default=8, metavar="N",
+                              help="max jobs per executor batch "
+                                   "(default: 8)")
+    serve_parser.add_argument("--timeout", type=float, default=None,
+                              metavar="S",
+                              help="per-job wall-clock timeout in "
+                                   "seconds (default: none)")
+    serve_parser.add_argument("--metrics-port", type=int,
+                              dest="metrics_port", metavar="PORT",
+                              help="also serve /metrics on a separate "
+                                   "port (0 = ephemeral)")
+    serve_parser.add_argument("--drain-timeout", type=float,
+                              dest="drain_timeout", default=60.0,
+                              metavar="S",
+                              help="max seconds to wait for in-flight "
+                                   "jobs on SIGTERM (default: 60)")
+
     report_parser = sub.add_parser(
         "report", help="self-contained HTML reports with the "
                        "paper-fidelity scorecard")
@@ -1129,6 +1244,7 @@ HANDLERS = {
     "bench": cmd_bench,
     "db": cmd_db,
     "report": cmd_report,
+    "serve": cmd_serve,
     "analyze": cmd_analyze,
     "experiments": cmd_experiments,
 }

@@ -19,7 +19,10 @@ given in the running text (Sections III-B, IV-C, VI-A):
 
 from __future__ import annotations
 
+import dataclasses
+import typing
 from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping
 
 
 @dataclass(frozen=True)
@@ -151,3 +154,45 @@ class SystemConfig:
     def with_delayed_tlb_entries(self, entries: int) -> "SystemConfig":
         """Return a copy with a different delayed-TLB capacity (Figure 4 sweep)."""
         return replace(self, delayed_tlb=replace(self.delayed_tlb, entries=entries))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Nested plain-dict view (the JSON wire format of a config)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "SystemConfig":
+        """Inverse of :meth:`to_dict` — see :func:`config_from_dict`."""
+        return config_from_dict(doc)
+
+
+def _dataclass_from_dict(cls: type, doc: Mapping[str, Any]) -> Any:
+    """Rebuild one (possibly nested) config dataclass from plain dicts.
+
+    Field types are resolved through ``typing.get_type_hints`` because
+    this module uses postponed annotations; unknown keys are ignored and
+    missing keys fall back to the field default, so older documents load
+    against newer configs (same forward-compatibility contract as
+    ``RunManifest.from_dict``).
+    """
+    hints = typing.get_type_hints(cls)
+    kwargs: Dict[str, Any] = {}
+    for f in dataclasses.fields(cls):
+        if f.name not in doc:
+            continue
+        value = doc[f.name]
+        field_type = hints[f.name]
+        if dataclasses.is_dataclass(field_type) and isinstance(value, Mapping):
+            value = _dataclass_from_dict(field_type, value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
+
+
+def config_from_dict(doc: Mapping[str, Any]) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from ``dataclasses.asdict`` output.
+
+    Exact inverse for JSON-representable fields (everything here is
+    ints/floats), so ``config_fingerprint(config_from_dict(c.to_dict()))
+    == config_fingerprint(c)`` — which is what keeps job fingerprints
+    stable across the ``repro.job/v1`` wire format.
+    """
+    return _dataclass_from_dict(SystemConfig, doc)

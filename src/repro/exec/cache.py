@@ -5,21 +5,49 @@ Each entry is one ``repro.result/v1`` JSON document stored at
 human can tell what produced it.  Loads verify the schema and the
 recorded fingerprint; anything missing, corrupt, or mismatched is a
 miss — a broken cache entry can cost a re-simulation, never a wrong
-result.  Stores are atomic (temp file + rename) so concurrent workers
-and interrupted runs cannot leave half-written entries behind.
+result.  Stores are atomic (temp file + rename) with per-writer temp
+names — pid, thread id and a monotonic counter — so concurrent
+processes, concurrent threads (two service workers racing on the same
+fingerprint) and interrupted runs cannot leave half-written or
+interleaved entries behind.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 from repro.exec.job import Job
 
 if TYPE_CHECKING:
     from repro.sim.results import SimulationResult
+
+#: Distinguishes same-process writers racing on one fingerprint.
+_TMP_COUNTER = itertools.count()
+
+
+def result_document(job: Job, result: "SimulationResult") -> Dict[str, Any]:
+    """The ``repro.result/v1`` document a cache entry holds.
+
+    The result's own JSON plus the additive provenance keys —
+    ``fingerprint`` and the job ``identity`` (the schema keeps its
+    version; see ``results.py``).  The simulation service serves this
+    exact layout, so a body answered from a fresh run and one answered
+    from a later cache hit are byte-identical.
+    """
+    doc = result.to_json_dict()
+    doc["fingerprint"] = job.fingerprint()
+    doc["identity"] = job.identity()
+    return doc
+
+
+def encode_document(doc: Dict[str, Any]) -> str:
+    """Canonical on-disk/on-wire encoding of one result document."""
+    return json.dumps(doc, indent=2) + "\n"
 
 
 class ResultCache:
@@ -61,14 +89,25 @@ class ResultCache:
         return result
 
     def store(self, job: Job, result: "SimulationResult") -> Path:
-        """Persist one result atomically; returns the entry's path."""
-        doc = result.to_json_dict()
-        doc["fingerprint"] = job.fingerprint()   # additive keys: schema keeps
-        doc["identity"] = job.identity()         # its version (see results.py)
+        """Persist one result atomically; returns the entry's path.
+
+        The temp name carries pid + thread id + a counter: two writers
+        racing on the same fingerprint each write their own temp file
+        and the last ``os.replace`` wins whole — a reader can never see
+        a truncated or interleaved entry.  (Equal fingerprints mean
+        equal results, so *which* writer wins is immaterial.)
+        """
+        doc = result_document(job, result)
         path = self.path(job)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(doc, indent=2) + "\n")
-        os.replace(tmp, path)
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}."
+            f"{next(_TMP_COUNTER)}.tmp")
+        try:
+            tmp.write_text(encode_document(doc))
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)   # never leave temp litter behind
+            raise
         self.stores += 1
         return path
 

@@ -32,9 +32,10 @@ monitor always sees closure.
 from __future__ import annotations
 
 import concurrent.futures
+import time
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Union
 
-from repro.exec.job import Job, JobError
+from repro.exec.job import CancelPulse, Job, JobError
 
 if TYPE_CHECKING:
     from repro.obs.heartbeat import BeatSpec
@@ -57,7 +58,9 @@ def _mark_run_start(tracer: "Optional[Tracer]", job: Job) -> None:
 
 def run_job(job: Job, tracer: "Optional[Tracer]" = None,
             trace_spec: "Optional[TraceSpec]" = None,
-            beat: "Optional[BeatSpec]" = None) -> Outcome:
+            beat: "Optional[BeatSpec]" = None,
+            timeout: Optional[float] = None,
+            cancel: Optional[Callable[[], bool]] = None) -> Outcome:
     """Run one job, capturing any failure as a :class:`JobError`.
 
     Module-level so :class:`ParallelExecutor` can pickle it into worker
@@ -67,8 +70,17 @@ def run_job(job: Job, tracer: "Optional[Tracer]" = None,
     mark so every shard is a self-describing single-run trace.  With a
     ``beat``, the job pushes periodic heartbeats plus one terminal beat
     (success or failure) over the spec's queue.
+
+    ``timeout`` (seconds, measured from when this job *starts*
+    executing, not from submission) and ``cancel`` (an in-process
+    callable polled periodically) abort the simulation mid-run through
+    a :class:`CancelPulse`; the outcome is a :class:`JobError` with
+    ``error_type == "JobCancelled"``.
     """
     pulse = beat.pulse_for(job) if beat is not None else None
+    if timeout is not None or cancel is not None:
+        deadline = time.time() + timeout if timeout is not None else None
+        pulse = CancelPulse(pulse, deadline=deadline, cancel=cancel)
     if trace_spec is not None:
         tracer = trace_spec.open(job.fingerprint())
         tracer.mark("run_start", **job.mark_detail())
@@ -103,14 +115,17 @@ class SerialExecutor:
     def run(self, jobs: Sequence[Job], tracer: "Optional[Tracer]" = None,
             on_done: Optional[JobCallback] = None,
             trace_spec: "Optional[TraceSpec]" = None,
-            beat: "Optional[BeatSpec]" = None) -> List[Outcome]:
+            beat: "Optional[BeatSpec]" = None,
+            timeout: Optional[float] = None,
+            cancel: Optional[Callable[[], bool]] = None) -> List[Outcome]:
         outcomes: List[Outcome] = []
         for job in jobs:
             if trace_spec is None:
                 _mark_run_start(tracer, job)   # shards self-describe
             self.submitted += 1
             outcome = run_job(job, tracer=None if trace_spec else tracer,
-                              trace_spec=trace_spec, beat=beat)
+                              trace_spec=trace_spec, beat=beat,
+                              timeout=timeout, cancel=cancel)
             outcomes.append(outcome)
             if on_done is not None:
                 on_done(job, outcome)
@@ -136,7 +151,9 @@ class ParallelExecutor:
     def run(self, jobs: Sequence[Job], tracer: "Optional[Tracer]" = None,
             on_done: Optional[JobCallback] = None,
             trace_spec: "Optional[TraceSpec]" = None,
-            beat: "Optional[BeatSpec]" = None) -> List[Outcome]:
+            beat: "Optional[BeatSpec]" = None,
+            timeout: Optional[float] = None,
+            cancel: Optional[Callable[[], bool]] = None) -> List[Outcome]:
         jobs = list(jobs)
         if not jobs:
             return []
@@ -148,9 +165,12 @@ class ParallelExecutor:
                 if trace_spec is None:
                     _mark_run_start(tracer, job)   # shards self-describe
                 self.submitted += 1
+                # ``timeout`` pickles as-is; ``cancel`` must be a
+                # module-level (picklable) callable to cross the pool.
                 futures[pool.submit(run_job, job,
                                     trace_spec=trace_spec,
-                                    beat=beat)] = index
+                                    beat=beat, timeout=timeout,
+                                    cancel=cancel)] = index
             for future in concurrent.futures.as_completed(futures):
                 index = futures[future]
                 job = jobs[index]

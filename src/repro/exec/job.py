@@ -20,17 +20,22 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 import traceback as tb
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple, Union
 
-from repro.common.params import SystemConfig
+from repro.common.params import SystemConfig, config_from_dict
 from repro.obs.manifest import MANIFEST_SCHEMA, config_fingerprint
 
 if TYPE_CHECKING:  # avoid importing repro.sim at module load (cycle)
     from repro.obs.tracer import Tracer
     from repro.sim.results import SimulationResult
     from repro.workloads.spec import WorkloadSpec
+
+#: Version tag of the :meth:`Job.to_json_dict` wire format — what the
+#: simulation service accepts over HTTP (``POST /jobs``).
+JOB_SCHEMA = "repro.job/v1"
 
 
 @dataclass(frozen=True)
@@ -87,6 +92,69 @@ class Job:
         """Stable short hash of :meth:`identity` — the dedup/cache key."""
         text = json.dumps(self.identity(), sort_keys=True, default=str)
         return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """This job as a ``repro.job/v1`` document (the service wire
+        format).
+
+        Only catalog-named workloads serialize — an ad-hoc
+        :class:`~repro.workloads.spec.WorkloadSpec` has no stable wire
+        form, so it raises rather than fingerprint-drifting silently.
+        ``config`` is the nested plain-dict view (``None`` means the
+        default :class:`SystemConfig`); ``tags`` must be
+        JSON-representable pairs.
+        """
+        if not isinstance(self.workload, str):
+            raise ValueError(
+                "ad-hoc WorkloadSpec jobs have no repro.job/v1 form; "
+                "submit a catalog workload name instead")
+        return {
+            "schema": JOB_SCHEMA,
+            "workload": self.workload,
+            "mmu": self.mmu,
+            "config": self.config.to_dict() if self.config else None,
+            "accesses": self.accesses,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "interval": self.interval,
+            "reset_stats_after_warmup": self.reset_stats_after_warmup,
+            "tags": [[key, value] for key, value in self.tags],
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: Dict[str, Any]) -> "Job":
+        """Inverse of :meth:`to_json_dict`.
+
+        Round-trip invariant (pinned by the property suite):
+        ``Job.from_json_dict(job.to_json_dict()) == job``, hence equal
+        fingerprints.  Dict key order never matters — identity is built
+        field by field and hashed over sorted keys.  Unknown keys are
+        ignored for forward compatibility; missing required keys raise
+        ``KeyError``, wrong shapes raise ``TypeError``/``ValueError``.
+        """
+        schema = doc.get("schema")
+        if schema != JOB_SCHEMA:
+            raise ValueError(
+                f"expected a {JOB_SCHEMA} document, got {schema!r}")
+        workload = doc["workload"]
+        if not isinstance(workload, str):
+            raise TypeError("workload must be a catalog name string")
+        config_doc = doc.get("config")
+        return cls(
+            workload=workload,
+            mmu=doc["mmu"],
+            config=(config_from_dict(config_doc)
+                    if config_doc is not None else None),
+            accesses=int(doc.get("accesses", 100_000)),
+            warmup=int(doc.get("warmup", 20_000)),
+            seed=int(doc.get("seed", 42)),
+            interval=(int(doc["interval"])
+                      if doc.get("interval") is not None else None),
+            reset_stats_after_warmup=bool(
+                doc.get("reset_stats_after_warmup", False)),
+            tags=tuple((str(key), value)
+                       for key, value in doc.get("tags", ())),
+        )
 
     def mark_detail(self) -> Dict[str, Any]:
         """Fields for the ``run_start`` tracer mark bracketing this job."""
@@ -152,3 +220,54 @@ class JobFailedError(RuntimeError):
         super().__init__(f"job {error.workload}/{error.mmu} failed: "
                          f"{error.error_type}: {error.message}")
         self.error = error
+
+
+class JobCancelled(RuntimeError):
+    """A running job was aborted mid-simulation (timeout or explicit
+    cancellation).  Captured like any failure — the outcome is a
+    :class:`JobError` with ``error_type == "JobCancelled"`` — so one
+    cancelled point never kills a batch."""
+
+
+class CancelPulse:
+    """The engine's cancellation hook, riding the simulator's pulse.
+
+    The simulator already supports one periodic callback (the heartbeat
+    protocol: an ``every`` attribute plus ``__call__(done, total,
+    instructions, cycles)``), so cancellation costs nothing new on the
+    hot path: this wraps an optional inner pulse, checks a wall-clock
+    ``deadline`` (``time.time()``, picklable — it crosses into pool
+    workers) and/or an in-process ``cancel`` callable every ``every``
+    timed accesses, raises :class:`JobCancelled` when either trips, and
+    otherwise delegates.  A simulation is abandoned within ``every``
+    accesses of the trip, not at the end of the run.
+    """
+
+    #: Check cadence when no inner pulse dictates one.
+    DEFAULT_EVERY = 1024
+
+    def __init__(self, inner: Optional[Any] = None,
+                 deadline: Optional[float] = None,
+                 cancel: Optional[Callable[[], bool]] = None,
+                 every: Optional[int] = None) -> None:
+        inner_every = getattr(inner, "every", 0) if inner is not None else 0
+        self.every = every or inner_every or self.DEFAULT_EVERY
+        self._inner = inner
+        self._deadline = deadline
+        self._cancel = cancel
+
+    def __call__(self, done: int, total: int, instructions: int,
+                 cycles: float) -> None:
+        if self._cancel is not None and self._cancel():
+            raise JobCancelled(f"cancelled after {done} timed accesses")
+        if self._deadline is not None and time.time() >= self._deadline:
+            raise JobCancelled(
+                f"deadline exceeded after {done} timed accesses")
+        if self._inner is not None:
+            self._inner(done, total, instructions, cycles)
+
+    def finish(self, accesses: int, instructions: int, cycles: float,
+               ok: bool = True) -> None:
+        """Delegate the terminal beat (no-op without an inner pulse)."""
+        if self._inner is not None:
+            self._inner.finish(accesses, instructions, cycles, ok=ok)

@@ -47,6 +47,16 @@ class Histogram:
         self.count += other.count
         self.total += other.total
 
+    def copy(self) -> "Histogram":
+        """An independent clone — how the metrics registry hands a
+        consistent histogram to readers without holding its lock while
+        they render."""
+        clone = Histogram(self.name)
+        clone.counts = list(self.counts)
+        clone.count = self.count
+        clone.total = self.total
+        return clone
+
     @classmethod
     def from_snapshot(cls, name: str,
                       snapshot: Dict[str, object]) -> "Histogram":

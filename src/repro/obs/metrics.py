@@ -129,11 +129,19 @@ class MetricFamily:
             return series.value if series is not None else 0
 
     def series(self) -> List[Tuple[LabelKey, Any]]:
-        """``(labels, value-or-histogram)`` pairs in sorted label order."""
+        """``(labels, value-or-histogram)`` pairs in sorted label order.
+
+        Histograms come back as **copies taken under the lock**: a
+        scraper rendering buckets/sum/count while workers keep
+        observing would otherwise read torn state (a bucket increment
+        without its ``count``), and the Prometheus invariant
+        ``le="+Inf" == _count`` would flicker.  Counter/gauge values
+        are plain numbers, immutable once read.
+        """
         with self._lock:
             items = sorted(self._series.items())
             if self.kind == "histogram":
-                return [(key, hist) for key, hist in items]
+                return [(key, hist.copy()) for key, hist in items]
             return [(key, series.value) for key, series in items]
 
     def __len__(self) -> int:

@@ -121,6 +121,16 @@ class TestExamplesRun:
         assert "Paper-fidelity scorecard" in page
         assert "http://" not in page and "https://" not in page
 
+    def test_simulation_service(self, capsys):
+        module = load_example("simulation_service")
+        shrink(module, ACCESSES=800, WARMUP=200, CLIENTS=3)
+        module.main()
+        out = capsys.readouterr().out
+        assert "simulations executed: 1" in out
+        assert "disposition: cached" in out
+        assert 'repro_serve_submissions_total{disposition="accepted"} 1' \
+            in out
+
     def test_bench_gate(self, capsys):
         module = load_example("bench_gate")
         shrink(module, ACCESSES=600, WARMUP=200)

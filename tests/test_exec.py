@@ -380,3 +380,142 @@ class TestCliEngineFlags:
             first = json.loads(shard.read_text().splitlines()[0])
             assert first["stage"] == "mark"
             assert first["label"] == "run_start"
+
+
+# --------------------------------------------------------------------- #
+# Job wire format + cancellation (the serving layer's engine hooks)
+# --------------------------------------------------------------------- #
+
+class TestJobWireFormat:
+    def test_round_trip_preserves_fingerprint(self):
+        job = Job("stream", "hybrid_tlb",
+                  config=SystemConfig().with_delayed_tlb_entries(512),
+                  interval=250, tags=(("size", 4),), **FAST)
+        doc = job.to_json_dict()
+        assert doc["schema"] == "repro.job/v1"
+        back = Job.from_json_dict(json.loads(json.dumps(doc)))
+        assert back == job
+        assert back.fingerprint() == job.fingerprint()
+
+    def test_document_shape_is_stable(self):
+        doc = Job("stream", "baseline", interval=100,
+                  **FAST).to_json_dict()
+        check_fields(doc, {
+            "schema": str,
+            "workload": str,
+            "mmu": str,
+            "config": (dict, type(None)),
+            "accesses": int,
+            "warmup": int,
+            "seed": int,
+            "interval": (int, type(None)),
+            "reset_stats_after_warmup": bool,
+            "tags": list,
+        })
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="repro.job/v1"):
+            Job.from_json_dict({"schema": "bogus/v9"})
+
+    def test_non_string_workload_rejected(self):
+        with pytest.raises(TypeError, match="catalog name"):
+            Job.from_json_dict({"schema": "repro.job/v1",
+                                "workload": 7, "mmu": "baseline"})
+
+    def test_adhoc_spec_jobs_have_no_wire_form(self):
+        import dataclasses
+
+        from repro.workloads import spec as catalog_spec
+
+        adhoc = dataclasses.replace(catalog_spec("stream"), name="adhoc")
+        with pytest.raises(ValueError, match="WorkloadSpec"):
+            Job(adhoc, "baseline", **FAST).to_json_dict()
+
+
+class TestCancellation:
+    def test_timeout_yields_cancelled_joberror(self):
+        from repro.exec import run_job
+
+        outcome = run_job(Job("stream", "baseline",
+                              accesses=10_000_000, warmup=100),
+                          timeout=0.05)
+        assert isinstance(outcome, JobError)
+        assert outcome.error_type == "JobCancelled"
+        assert "deadline" in outcome.message
+
+    def test_cancel_callable_aborts_serial_batch(self):
+        from repro.exec import run_job
+
+        outcome = run_job(Job("stream", "baseline",
+                              accesses=10_000_000, warmup=100),
+                          cancel=lambda: True)
+        assert isinstance(outcome, JobError)
+        assert outcome.error_type == "JobCancelled"
+
+    def test_untimed_job_still_completes(self):
+        from repro.exec import run_job
+
+        outcome = run_job(Job("stream", "baseline", **FAST), timeout=60.0)
+        assert isinstance(outcome, SimulationResult)
+
+    def test_parallel_executor_applies_per_job_deadline(self):
+        jobs = [Job("stream", "baseline", accesses=10_000_000,
+                    warmup=100, seed=seed) for seed in (1, 2)]
+        outcomes = {}
+        ParallelExecutor(workers=2).run(
+            jobs, on_done=lambda job, out:
+            outcomes.__setitem__(job.fingerprint(), out), timeout=0.05)
+        assert len(outcomes) == 2
+        for outcome in outcomes.values():
+            assert isinstance(outcome, JobError)
+            assert outcome.error_type == "JobCancelled"
+
+
+class TestCacheConcurrentWriters:
+    def test_interleaved_writers_never_truncate_an_entry(self, tmp_path):
+        """Same-fingerprint stores racing from several threads (exactly
+        what coalescing-adjacent service workers do) must leave one
+        complete JSON document and no temp droppings."""
+        import threading
+
+        cache = ResultCache(tmp_path)
+        job = Job("stream", "baseline", **FAST)
+        result = job.run()
+        expected = json.loads(json.dumps(result.to_json_dict()))
+
+        writers = 4
+        rounds = 25
+        barrier = threading.Barrier(writers + 1)
+        errors = []
+
+        def write() -> None:
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(rounds):
+                    cache.store(job, result)
+            except BaseException as exc:     # pragma: no cover
+                errors.append(exc)
+
+        def read() -> None:
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(rounds * 2):
+                    loaded = cache.load(job)
+                    if loaded is not None:   # never torn/partial
+                        assert loaded.to_json_dict() == expected
+            except BaseException as exc:     # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write) for _ in range(writers)]
+        threads.append(threading.Thread(target=read))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors[:3]
+        final = cache.load(job)
+        assert final is not None
+        assert final.to_json_dict() == expected
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.name != cache.path(job).name]
+        assert leftovers == []               # no .tmp files left behind

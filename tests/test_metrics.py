@@ -679,3 +679,80 @@ class TestCliTelemetry:
         report = json.loads(capsys.readouterr().out)
         assert report["ok"]
         assert any(d.get("history") for d in report["deltas"])
+
+
+class TestRegistryConcurrency:
+    """Writers hammer labeled series while a scraper renders: totals must
+    come out exact and every individual scrape internally consistent
+    (the torn-read pin for :meth:`MetricFamily.series` histogram copies).
+    """
+
+    WRITERS = 8
+    OPS = 2_000
+
+    def test_hammered_registry_keeps_exact_totals_and_clean_scrapes(self):
+        import re
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_stress_total", "stress counter")
+        hist = registry.histogram("repro_stress_ms", "stress histogram")
+        stop = threading.Event()
+        scrapes: list[str] = []
+        errors: list[BaseException] = []
+
+        def scraper() -> None:
+            try:
+                while not stop.is_set():
+                    scrapes.append(render_prometheus(registry))
+                    json.dumps(registry.snapshot())   # must never tear
+            except BaseException as exc:              # pragma: no cover
+                errors.append(exc)
+
+        def writer(tid: int) -> None:
+            try:
+                for i in range(self.OPS):
+                    counter.inc(thread=str(tid))      # per-thread series
+                    counter.inc(amount=2)             # one contended series
+                    hist.observe(i % 512)
+            except BaseException as exc:              # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(tid,))
+                   for tid in range(self.WRITERS)]
+        scrape_thread = threading.Thread(target=scraper)
+        scrape_thread.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        stop.set()
+        scrape_thread.join(timeout=30)
+
+        assert not errors, errors[:3]
+        assert scrapes, "scraper never ran"
+        # Exact totals: not one increment lost or double-counted.
+        assert counter.get() == 2 * self.WRITERS * self.OPS
+        for tid in range(self.WRITERS):
+            assert counter.get(thread=str(tid)) == self.OPS
+        (_, snapshot), = hist.series()
+        assert snapshot.count == self.WRITERS * self.OPS
+        assert snapshot.total == self.WRITERS * sum(i % 512
+                                                    for i in range(self.OPS))
+        # Every mid-run scrape is internally consistent: the +Inf bucket
+        # equals _count, and buckets are cumulative (monotone).
+        bucket_re = re.compile(
+            r'repro_stress_ms_bucket\{le="([^"]+)"\} (\d+)')
+        count_re = re.compile(r"repro_stress_ms_count (\d+)")
+        checked = 0
+        for text in scrapes:
+            count = count_re.search(text)
+            if count is None:
+                continue                 # scraped before first observe
+            buckets = bucket_re.findall(text)
+            assert buckets[-1][0] == "+Inf"
+            assert buckets[-1][1] == count.group(1)
+            values = [int(value) for _, value in buckets]
+            assert values == sorted(values)
+            checked += 1
+        assert checked > 0

@@ -189,3 +189,92 @@ class TestFrameConservationUnderKernelChurn:
             kernel.munmap(p, vma)
         total = kernel.frames.total_frames
         assert kernel.frames.free_frames() + kernel.frames.allocated_frames() == total
+
+
+# ---------------------------------------------------------------------- #
+# Job wire format (the simulation service's repro.job/v1 documents)
+# ---------------------------------------------------------------------- #
+
+def _shuffled_keys(doc):
+    """Recursively rebuild dicts with reversed key insertion order."""
+    if isinstance(doc, dict):
+        return {key: _shuffled_keys(doc[key]) for key in reversed(doc)}
+    if isinstance(doc, list):
+        return [_shuffled_keys(item) for item in doc]
+    return doc
+
+
+def _jobs():
+    from repro.exec import Job
+    from repro.sim.runner import MMU_CONFIGS
+
+    configs = st.sampled_from([
+        None,
+        SystemConfig(),
+        tiny_config(),
+        SystemConfig().with_delayed_tlb_entries(4096),
+        SystemConfig().with_llc_size(8 * MB),
+    ])
+    tags = st.lists(
+        st.tuples(st.sampled_from(["size", "kind", "sweep"]),
+                  st.one_of(st.integers(0, 99),
+                            st.sampled_from(["a", "b"]))),
+        max_size=2, unique_by=lambda tag: tag[0]).map(tuple)
+    return st.builds(
+        Job,
+        workload=st.sampled_from(["gups", "milc", "mcf", "stream"]),
+        mmu=st.sampled_from(MMU_CONFIGS),
+        config=configs,
+        accesses=st.integers(1, 10 ** 7),
+        warmup=st.integers(0, 10 ** 6),
+        seed=st.integers(0, 2 ** 31),
+        interval=st.one_of(st.none(), st.integers(1, 10 ** 5)),
+        reset_stats_after_warmup=st.booleans(),
+        tags=tags,
+    )
+
+
+class TestJobWireFormat:
+    """The service's dedup/cache soundness rests on these invariants."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(_jobs())
+    def test_json_round_trip_preserves_job_and_fingerprint(self, job):
+        from repro.exec import Job
+
+        back = Job.from_json_dict(job.to_json_dict())
+        assert back == job
+        assert back.fingerprint() == job.fingerprint()
+        assert back.identity() == job.identity()
+
+    @settings(max_examples=30, deadline=None)
+    @given(_jobs())
+    def test_fingerprint_invariant_under_document_key_order(self, job):
+        from repro.exec import Job
+
+        doc = job.to_json_dict()
+        reordered = _shuffled_keys(doc)
+        assert list(reordered) != list(doc)       # order truly differs
+        assert Job.from_json_dict(reordered).fingerprint() == \
+            job.fingerprint()
+
+    @settings(max_examples=30, deadline=None)
+    @given(_jobs())
+    def test_unknown_keys_ignored_for_forward_compat(self, job):
+        from repro.exec import Job
+
+        doc = job.to_json_dict()
+        doc["future_field"] = {"nested": True}
+        if doc["config"] is not None:
+            doc["config"]["future_knob"] = 7
+        assert Job.from_json_dict(doc) == job
+
+    @settings(max_examples=30, deadline=None)
+    @given(_jobs(), _jobs())
+    def test_fingerprint_equality_tracks_identity(self, a, b):
+        """Distinct fingerprints ⇒ distinct identities, and equal
+        identities ⇒ equal fingerprints (no spurious cache misses)."""
+        if a.fingerprint() != b.fingerprint():
+            assert a.identity() != b.identity()
+        if a.identity() == b.identity():
+            assert a.fingerprint() == b.fingerprint()
